@@ -1,0 +1,42 @@
+# pepscale build / test / reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench race examples experiments quick-experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/cluster/ ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/metagenome
+	$(GO) run ./examples/sortedsearch
+	$(GO) run ./examples/quality
+	$(GO) run ./examples/fdrsearch
+
+# Regenerate every table and figure of the paper (writes to stdout).
+experiments:
+	$(GO) run ./cmd/paperbench -scale default -exp all
+
+quick-experiments:
+	$(GO) run ./cmd/paperbench -scale quick -exp all
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMkdbWritesFASTA(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "db.fasta")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-n", "25", "-o", out}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), ">"); got != 25 {
+		t.Errorf("wrote %d records, want 25", got)
+	}
+	if !strings.Contains(stderr.String(), "wrote 25 sequences") {
+		t.Errorf("stderr: %q", stderr.String())
+	}
+}
+
+func TestMkdbPresets(t *testing.T) {
+	var human, microbial bytes.Buffer
+	if err := run([]string{"-preset", "human", "-scale", "0.0005"}, &human, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-preset", "microbial", "-scale", "0.0005"}, &microbial, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(human.String(), ">HUMAN_") || !strings.Contains(microbial.String(), ">MICRO_") {
+		t.Error("preset prefixes missing")
+	}
+	if human.String() == microbial.String() {
+		t.Error("presets identical")
+	}
+}
+
+func TestMkdbDeterministicAndSeed(t *testing.T) {
+	var a, b, c bytes.Buffer
+	sink := &bytes.Buffer{}
+	if err := run([]string{"-n", "5"}, &a, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "5"}, &b, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "5", "-seed", "99"}, &c, sink); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same flags produced different databases")
+	}
+	if a.String() == c.String() {
+		t.Error("seed override had no effect")
+	}
+}
+
+func TestMkdbErrors(t *testing.T) {
+	sink := &bytes.Buffer{}
+	if err := run(nil, sink, sink); err == nil {
+		t.Error("missing preset/-n should error")
+	}
+	if err := run([]string{"-preset", "martian"}, sink, sink); err == nil {
+		t.Error("unknown preset should error")
+	}
+}

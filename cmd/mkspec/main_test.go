@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pepscale"
+)
+
+// writeTestDB creates a small FASTA database file.
+func writeTestDB(t *testing.T, dir string) string {
+	t.Helper()
+	recs := pepscale.GenerateDatabase(pepscale.SizedDatabase(30))
+	path := filepath.Join(dir, "db.fasta")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pepscale.WriteFASTA(f, recs, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMkspecWritesMGFAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	db := writeTestDB(t, dir)
+	mgf := filepath.Join(dir, "q.mgf")
+	truth := filepath.Join(dir, "truth.tsv")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-db", db, "-n", "7", "-o", mgf, "-truth", truth}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := pepscale.LoadSpectraFile(mgf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 7 {
+		t.Errorf("wrote %d spectra", len(specs))
+	}
+	tr, err := os.ReadFile(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(tr)), "\n")
+	if len(lines) != 8 { // header + 7
+		t.Errorf("truth lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id\tpeptide\tprotein") {
+		t.Errorf("truth header: %q", lines[0])
+	}
+	// Searching the generated spectra against the database should recover
+	// the truth peptides (closing the mkdb→mkspec→search loop).
+	data, err := pepscale.LoadDatabaseFile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := pepscale.DefaultOptions()
+	opt.Tau = 1
+	job := pepscale.Job{Algorithm: pepscale.AlgorithmA, Ranks: 2, Options: &opt}
+	res, err := job.Run(data, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, q := range res.Queries {
+		want := strings.Split(lines[i+1], "\t")[1]
+		if len(q.Hits) > 0 && q.Hits[0].Peptide == want {
+			correct++
+		}
+	}
+	if correct < 6 {
+		t.Errorf("only %d/7 recovered", correct)
+	}
+}
+
+func TestMkspecStdout(t *testing.T) {
+	dir := t.TempDir()
+	db := writeTestDB(t, dir)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-db", db, "-n", "2"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "BEGIN IONS") {
+		t.Error("MGF not written to stdout")
+	}
+}
+
+func TestMkspecErrors(t *testing.T) {
+	sink := &bytes.Buffer{}
+	if err := run(nil, sink, sink); err == nil {
+		t.Error("missing -db should error")
+	}
+	if err := run([]string{"-db", "/nonexistent/db.fasta"}, sink, sink); err == nil {
+		t.Error("missing file should error")
+	}
+}

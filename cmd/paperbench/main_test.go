@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPaperbenchQuickSingleExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-scale", "quick", "-exp", "table1,fig1a", "-queries", "6"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Table I ") || !strings.Contains(out, "Figure 1a") {
+		t.Errorf("missing tables in output:\n%s", out)
+	}
+}
+
+func TestPaperbenchCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-exp", "table1", "-csv"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "CSV:") {
+		t.Error("CSV rendition missing")
+	}
+}
+
+func TestPaperbenchErrors(t *testing.T) {
+	sink := &bytes.Buffer{}
+	if err := run([]string{"-scale", "galactic"}, sink, sink); err == nil {
+		t.Error("unknown scale should error")
+	}
+	if err := run([]string{"-exp", "nonsense"}, sink, sink); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

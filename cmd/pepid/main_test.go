@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pepscale"
+)
+
+func TestPepidSyntheticEndToEnd(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-synth-db", "200", "-synth-queries", "6", "-p", "3", "-tau", "2", "-algo", "b"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "query\trank\tpeptide\tprotein\tmass\tscore") {
+		t.Errorf("missing TSV header: %q", out[:60])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 7 { // header + up to 2 hits × 6 queries
+		t.Errorf("too few hit lines: %d", len(lines))
+	}
+	if !strings.Contains(stderr.String(), "engine=algorithm-b") {
+		t.Errorf("metrics missing: %q", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "sort-time=") {
+		t.Error("Algorithm B should report sort time")
+	}
+}
+
+func TestPepidFilesAndDecoy(t *testing.T) {
+	dir := t.TempDir()
+	// Build db + spectra files via the public API.
+	recs := pepscale.GenerateDatabase(pepscale.SizedDatabase(120))
+	dbPath := filepath.Join(dir, "db.fasta")
+	f, err := os.Create(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pepscale.WriteFASTA(f, recs, 60); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	truths, err := pepscale.GenerateSpectra(recs, pepscale.DefaultSpectraSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgfPath := filepath.Join(dir, "q.mgf")
+	g, err := os.Create(mgfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pepscale.WriteMGF(g, pepscale.SpectraOf(truths)); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	outPath := filepath.Join(dir, "hits.tsv")
+	var stdout, stderr bytes.Buffer
+	err = run([]string{"-db", dbPath, "-spectra", mgfPath, "-p", "4", "-tau", "3",
+		"-decoy", "-fdr", "0.05", "-o", outPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hits), "MICRO_") {
+		t.Error("no hits written")
+	}
+	if !strings.Contains(stderr.String(), "appended 120 reversed-sequence decoys") {
+		t.Errorf("decoy log missing: %q", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "identifications at q<=") {
+		t.Error("FDR summary missing")
+	}
+}
+
+func TestPepidMods(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-synth-db", "60", "-synth-queries", "2", "-p", "2",
+		"-mods", "Oxidation(M),Phospho(STY)", "-max-mods", "1"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPepidErrors(t *testing.T) {
+	sink := &bytes.Buffer{}
+	if err := run([]string{"-algo", "quantum"}, sink, sink); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if err := run([]string{"-mods", "Bogus(X)"}, sink, sink); err == nil {
+		t.Error("unknown modification should error")
+	}
+	if err := run([]string{"-db", "/nope.fasta"}, sink, sink); err == nil {
+		t.Error("missing db file should error")
+	}
+	if err := run([]string{"-scorer", "bogus", "-synth-db", "30", "-synth-queries", "1"}, sink, sink); err == nil {
+		t.Error("unknown scorer should error")
+	}
+}

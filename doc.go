@@ -1,0 +1,54 @@
+// Package pepscale is a scalable parallel engine for peptide identification
+// from large-scale tandem mass-spectrometry data — a from-scratch Go
+// reproduction of Kulkarni, Kalyanaraman, Cannon & Baxter, "A Scalable
+// Parallel Approach for Peptide Identification from Large-Scale Mass
+// Spectrometry Data" (ICPP Workshops 2009).
+//
+// # What it does
+//
+// Given a protein sequence database D (FASTA) and a set of experimental
+// MS/MS spectra Q, pepscale reports, for every query spectrum, the τ
+// database peptides most likely to have produced it, scored with an
+// MSPolygraph-style statistical model (a log-likelihood ratio against a
+// random-peptide null). Candidates are generated on the fly by in-silico
+// tryptic digestion (optionally semi-tryptic, optionally with variable
+// post-translational modifications) and filtered by a parent-mass
+// tolerance window.
+//
+// # Engines
+//
+// Searches run on a virtual distributed-memory machine (ranks as
+// goroutines with private memories, message passing, collectives, and
+// one-sided RMA) equipped with a deterministic LogGP-style virtual clock,
+// so the scalability behaviour of a 128-processor cluster can be studied
+// reproducibly on a laptop. Five engines are provided:
+//
+//   - AlgorithmMasterWorker — the MSPolygraph baseline: a master deals
+//     query batches on demand; every worker caches the whole database
+//     (O(N) memory per processor).
+//   - AlgorithmA — the paper's space-optimal engine: the database is
+//     block-partitioned O(N/p) per rank and cycled between ranks with
+//     non-blocking one-sided gets masked behind scoring computation.
+//   - AlgorithmANoMask — Algorithm A with masking disabled (ablation).
+//   - AlgorithmB — Algorithm A preceded by a parallel counting sort of
+//     the database by parent m/z, restricting communication to the
+//     "sender group" of ranks that can hold candidates.
+//   - AlgorithmSubGroup — the paper's proposed medium-input extension:
+//     ranks split into groups; database partitioned within a group,
+//     queries across groups.
+//
+// All engines produce byte-identical hit lists for identical inputs.
+//
+// # Quick start
+//
+//	db := pepscale.GenerateDatabase(pepscale.SizedDatabase(2000))
+//	truths, _ := pepscale.GenerateSpectra(db, pepscale.DefaultSpectraSpec(50))
+//	job := pepscale.Job{Algorithm: pepscale.AlgorithmA, Ranks: 8}
+//	res, _ := job.Run(pepscale.MarshalFASTA(db), pepscale.SpectraOf(truths))
+//	for _, q := range res.Queries {
+//		fmt.Println(q.ID, q.Hits[0].Peptide, q.Hits[0].Score)
+//	}
+//
+// See the examples directory for complete programs and cmd/paperbench for
+// the harness that regenerates every table and figure of the paper.
+package pepscale

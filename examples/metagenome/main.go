@@ -1,0 +1,80 @@
+// Metagenome: the paper's motivating scenario. A metagenomic community
+// database is too large to replicate in every processor's memory — the
+// MSPolygraph master–worker baseline needs O(N) bytes per rank, while
+// Algorithm A needs only O(N/p). This example builds a multi-organism
+// community database, runs both engines, and contrasts their memory
+// high-water marks and run-times ("we were able to store and analyze 2.65
+// million sequences using as little as 8 processors").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pepscale"
+)
+
+func main() {
+	// A community of 12 "organisms", 1,000 sequences each.
+	var community []pepscale.ProteinRecord
+	for org := 0; org < 12; org++ {
+		spec := pepscale.SizedDatabase(1000)
+		spec.Seed = uint64(0xC0FFEE + org)
+		spec.IDPrefix = fmt.Sprintf("ORG%02d", org)
+		community = append(community, pepscale.GenerateDatabase(spec)...)
+	}
+	dbImage := pepscale.MarshalFASTA(community)
+	fmt.Printf("community database: %d sequences, %.1f MB\n", len(community), float64(len(dbImage))/1e6)
+
+	truths, err := pepscale.GenerateSpectra(community, pepscale.DefaultSpectraSpec(40))
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := pepscale.SpectraOf(truths)
+
+	opt := pepscale.DefaultOptions()
+	opt.Tau = 10
+	// Small batches keep the master-worker baseline's dynamic load
+	// balancing effective for this modest query count.
+	opt.BatchSize = 2
+
+	fmt.Println("\nengine         p   runtime(s)  max resident/rank  candidates/s")
+	var refHits string
+	for _, cfg := range []struct {
+		algo pepscale.Algorithm
+		p    int
+	}{
+		{pepscale.AlgorithmMasterWorker, 16},
+		{pepscale.AlgorithmA, 16},
+		{pepscale.AlgorithmA, 32},
+	} {
+		job := pepscale.Job{Algorithm: cfg.algo, Ranks: cfg.p, Options: &opt}
+		res, err := job.Run(dbImage, queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%-13s %3d  %9.2f  %14.2f MB  %11.0f\n",
+			m.Algorithm, m.Ranks, m.RunSec, float64(m.MaxResidentBytes())/1e6, m.CandidatesPerSec())
+
+		sig := fingerprint(res)
+		if refHits == "" {
+			refHits = sig
+		} else if sig != refHits {
+			log.Fatal("engines disagreed — this should be impossible")
+		}
+	}
+	fmt.Println("\nall engines reported identical hit lists")
+	fmt.Println("note how Algorithm A's per-rank memory shrinks with p while the")
+	fmt.Println("master-worker baseline pays the full database on every rank.")
+}
+
+func fingerprint(res *pepscale.Result) string {
+	s := ""
+	for _, q := range res.Queries {
+		for _, h := range q.Hits {
+			s += fmt.Sprintf("%s|%s|%.6f;", q.ID, h.Peptide, h.Score)
+		}
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+// Quality: why the paper insists on the expensive statistical model. The
+// X!!Tandem comparison in §I.A credits that tool's speed to "a fairly
+// simple, fast statistical model, and an aggressive prefiltering step that
+// could miss true predictions ... especially under more complex settings
+// involving metagenomic data". The run-time saved by the paper's parallel
+// algorithm is spent on a full likelihood evaluation of every candidate
+// instead.
+//
+// This example scores the same noisy ground-truth spectra under three
+// pipelines — the accurate likelihood model, the fast hyperscore model,
+// and the fast model behind an aggressive prefilter — at two database
+// complexities, and reports identification accuracy next to the virtual
+// CPU time each pipeline paid.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pepscale"
+)
+
+func main() {
+	small := pepscale.GenerateDatabase(pepscale.SizedDatabase(300))
+	large := pepscale.GenerateDatabase(pepscale.SizedDatabase(6000))
+
+	// Noisy spectra: most fragment peaks missing, heavy noise — the regime
+	// where shortcuts start costing identifications.
+	spec := pepscale.DefaultSpectraSpec(80)
+	spec.PeakEfficiency = 0.38
+	spec.NoisePeaks = 45
+	truths, err := pepscale.GenerateSpectra(small, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := pepscale.SpectraOf(truths)
+
+	type pipeline struct {
+		name      string
+		scorer    string
+		prefilter float64
+	}
+	pipelines := []pipeline{
+		{"likelihood (accurate)", "likelihood", 0},
+		{"hyper (fast)", "hyper", 0},
+		{"hyper + prefilter", "hyper", 0.28},
+	}
+
+	fmt.Printf("%d noisy ground-truth spectra; databases: %d and %d sequences\n\n", len(truths), len(small), len(large))
+	fmt.Println("pipeline                db     rank-1   top-5   virtual cpu (s)")
+	for _, pl := range pipelines {
+		for _, db := range [][]pepscale.ProteinRecord{small, large} {
+			opt := pepscale.DefaultOptions()
+			opt.Tau = 5
+			opt.ScorerName = pl.scorer
+			opt.Prefilter = pl.prefilter
+			job := pepscale.Job{Algorithm: pepscale.AlgorithmA, Ranks: 8, Options: &opt}
+			res, err := job.Run(pepscale.MarshalFASTA(db), queries)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rank1, top5 := 0, 0
+			for i, q := range res.Queries {
+				for j, h := range q.Hits {
+					if h.Peptide == truths[i].Peptide {
+						if j == 0 {
+							rank1++
+						}
+						top5++
+						break
+					}
+				}
+			}
+			var cpu float64
+			for _, rm := range res.Metrics.PerRank {
+				cpu += rm.ComputeSec
+			}
+			fmt.Printf("%-22s %6d   %3d/%d   %3d/%d   %10.1f\n",
+				pl.name, len(db), rank1, len(truths), top5, len(truths), cpu)
+		}
+	}
+	fmt.Println("\nthe aggressively prefiltered pipeline is by far the cheapest but loses")
+	fmt.Println("true identifications on noisy spectra — the paper's criticism of the")
+	fmt.Println("fast tools. The full pipelines keep them, and the likelihood model")
+	fmt.Println("additionally yields calibrated (null-referenced) scores; its extra cost")
+	fmt.Println("is what the paper's space-optimal parallelization makes affordable.")
+}

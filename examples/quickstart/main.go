@@ -1,0 +1,51 @@
+// Quickstart: generate a small synthetic protein database and a handful of
+// experimental spectra, run the paper's space-optimal Algorithm A on an
+// 8-rank virtual cluster, and print the best peptide hit for each query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pepscale"
+)
+
+func main() {
+	// A 2,000-sequence microbial-style database (deterministic).
+	db := pepscale.GenerateDatabase(pepscale.SizedDatabase(2000))
+	dbImage := pepscale.MarshalFASTA(db)
+
+	// 25 query spectra fabricated from real tryptic peptides of that
+	// database — so we know the right answers.
+	truths, err := pepscale.GenerateSpectra(db, pepscale.DefaultSpectraSpec(25))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Search with the default configuration: τ=50 hits per query, δ=3 Da,
+	// likelihood scoring, communication masking on.
+	job := pepscale.Job{Algorithm: pepscale.AlgorithmA, Ranks: 8}
+	res, err := job.Run(dbImage, pepscale.SpectraOf(truths))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	correct := 0
+	fmt.Println("query                      top hit                        score    true peptide")
+	for i, q := range res.Queries {
+		if len(q.Hits) == 0 {
+			fmt.Printf("%-26s (no hits)\n", q.ID)
+			continue
+		}
+		best := q.Hits[0]
+		marker := " "
+		if best.Peptide == truths[i].Peptide {
+			correct++
+			marker = "*"
+		}
+		fmt.Printf("%-26s %-30s %7.2f  %s %s\n", q.ID, best.Peptide, best.Score, truths[i].Peptide, marker)
+	}
+	m := res.Metrics
+	fmt.Printf("\n%d/%d rank-1 correct | engine=%s p=%d | %.0f candidates/s (virtual) | runtime %.3fs (virtual)\n",
+		correct, len(res.Queries), m.Algorithm, m.Ranks, m.CandidatesPerSec(), m.RunSec)
+}

@@ -1,0 +1,74 @@
+// Sortedsearch: the workload Algorithm B was designed for. The paper found
+// that B's m/z counting sort pays off only when each query needs a narrow
+// mass band of the database; its human spectra forced every rank to fetch
+// from "a majority of the other p−1 processors, thereby defeating the
+// purpose of sorting". The band restriction operates on whole-sequence
+// masses, so it bites when database entries are peptide-sized — e.g. the
+// "unconventional peptide sequences derived from putative ORFs" the paper's
+// introduction describes, or the candidate-centric storage its discussion
+// proposes for Algorithm B.
+//
+// This example builds such an ORF-fragment database plus a heavy-precursor
+// query class and compares the database bytes each engine transports.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pepscale"
+)
+
+func main() {
+	// Peptide-sized database entries (ORF fragments).
+	spec := pepscale.SizedDatabase(6000)
+	spec.AvgLength = 11
+	spec.LengthStdDev = 4
+	spec.MinLength = 7
+	db := pepscale.GenerateDatabase(spec)
+	dbImage := pepscale.MarshalFASTA(db)
+
+	// Draw spectra, keep only heavy precursors (a narrow mass band).
+	sspec := pepscale.DefaultSpectraSpec(600)
+	sspec.Digest.MinMass = 400
+	truths, err := pepscale.GenerateSpectra(db, sspec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var queries []*pepscale.Spectrum
+	for _, t := range truths {
+		if t.Spectrum.ParentMass() > 1300 {
+			queries = append(queries, t.Spectrum)
+		}
+		if len(queries) == 64 {
+			break
+		}
+	}
+	fmt.Printf("database: %d ORF fragments; queries: %d heavy-precursor spectra (>1300 Da)\n\n", len(db), len(queries))
+
+	opt := pepscale.DefaultOptions()
+	opt.Tau = 10
+	opt.Digest.MinMass = 400
+
+	fmt.Println("engine       p   runtime(s)  sort(s)  DB bytes transported/rank")
+	for _, algo := range []pepscale.Algorithm{pepscale.AlgorithmA, pepscale.AlgorithmB} {
+		for _, p := range []int{8, 16} {
+			job := pepscale.Job{Algorithm: algo, Ranks: p, Options: &opt}
+			res, err := job.Run(dbImage, queries)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := res.Metrics
+			var rma int64
+			for _, rm := range m.PerRank {
+				rma += rm.RMABytesReceived
+			}
+			fmt.Printf("%-11s %3d  %9.3f  %7.3f  %15.0f KB\n",
+				m.Algorithm, p, m.RunSec, m.SortSec, float64(rma/int64(p))/1e3)
+		}
+	}
+	fmt.Println("\nAlgorithm B's sender-group restriction cuts the transported database")
+	fmt.Println("bytes on this narrow-band, peptide-entry workload; on broad workloads")
+	fmt.Println("over full-length proteins the sort is pure overhead — exactly the")
+	fmt.Println("paper's Table IV conclusion.")
+}

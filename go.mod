@@ -1,0 +1,3 @@
+module pepscale
+
+go 1.22

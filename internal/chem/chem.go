@@ -1,0 +1,261 @@
+// Package chem provides the mass-spectrometry chemistry primitives used by
+// the peptide-identification pipeline: amino-acid residue masses, peptide
+// neutral masses, mass-to-charge (m/z) arithmetic, mass tolerances, and
+// post-translational modification (PTM) definitions.
+//
+// Two mass scales are supported: monoisotopic masses (the mass of the
+// isotopically pure species, used by high-resolution instruments) and
+// average masses (the abundance-weighted mean, used by the sequence-averaged
+// model spectra of MSPolygraph-style scoring).
+package chem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fundamental constants (unified atomic mass units, u).
+const (
+	// WaterMono is the monoisotopic mass of H2O, added once per peptide to
+	// convert a residue-mass sum into a neutral peptide mass.
+	WaterMono = 18.0105646863
+	// WaterAvg is the average mass of H2O.
+	WaterAvg = 18.01528
+	// ProtonMass is the mass of a proton; protonation adds this per charge.
+	ProtonMass = 1.00727646688
+	// AmmoniaMono is the monoisotopic mass of NH3 (neutral-loss ions).
+	AmmoniaMono = 17.0265491015
+)
+
+// MassType selects between the two supported mass scales.
+type MassType int
+
+const (
+	// Mono selects monoisotopic masses.
+	Mono MassType = iota
+	// Average selects average (abundance-weighted) masses.
+	Average
+)
+
+// String implements fmt.Stringer.
+func (t MassType) String() string {
+	switch t {
+	case Mono:
+		return "mono"
+	case Average:
+		return "average"
+	default:
+		return fmt.Sprintf("MassType(%d)", int(t))
+	}
+}
+
+// monoMass holds the monoisotopic residue masses for the 20 standard amino
+// acids, indexed by their upper-case single-letter code.
+var monoMass = [256]float64{
+	'G': 57.02146372,
+	'A': 71.03711378,
+	'S': 87.03202840,
+	'P': 97.05276384,
+	'V': 99.06841390,
+	'T': 101.04767846,
+	'C': 103.00918447,
+	'L': 113.08406396,
+	'I': 113.08406396,
+	'N': 114.04292744,
+	'D': 115.02694302,
+	'Q': 128.05857750,
+	'K': 128.09496301,
+	'E': 129.04259308,
+	'M': 131.04048459,
+	'H': 137.05891186,
+	'F': 147.06841390,
+	'R': 156.10111102,
+	'Y': 163.06332852,
+	'W': 186.07931294,
+}
+
+// avgMass holds the average residue masses, indexed like monoMass.
+var avgMass = [256]float64{
+	'G': 57.0519,
+	'A': 71.0788,
+	'S': 87.0782,
+	'P': 97.1167,
+	'V': 99.1326,
+	'T': 101.1051,
+	'C': 103.1388,
+	'L': 113.1594,
+	'I': 113.1594,
+	'N': 114.1038,
+	'D': 115.0886,
+	'Q': 128.1307,
+	'K': 128.1741,
+	'E': 129.1155,
+	'M': 131.1926,
+	'H': 137.1411,
+	'F': 147.1766,
+	'R': 156.1875,
+	'Y': 163.1760,
+	'W': 186.2132,
+}
+
+// Residues lists the 20 standard amino-acid single-letter codes in a fixed
+// canonical order (by increasing monoisotopic mass, I after L).
+const Residues = "GASPVTCLINDQKEMHFRYW"
+
+// IsResidue reports whether b is one of the 20 standard amino-acid codes
+// (upper case only; sequence normalization happens at parse time).
+func IsResidue(b byte) bool { return monoMass[b] != 0 }
+
+// ResidueMass returns the mass of a single residue on the given scale.
+// The boolean result is false if b is not a standard residue code.
+func ResidueMass(b byte, t MassType) (float64, bool) {
+	var m float64
+	if t == Average {
+		m = avgMass[b]
+	} else {
+		m = monoMass[b]
+	}
+	return m, m != 0
+}
+
+// Table returns the 256-entry residue mass lookup table for the given mass
+// scale. Entries for non-residue bytes are zero. The returned pointer refers
+// to package-internal storage and must not be modified.
+func Table(t MassType) *[256]float64 {
+	if t == Average {
+		return &avgMass
+	}
+	return &monoMass
+}
+
+// ErrBadResidue is wrapped by errors returned for unknown residue codes.
+var ErrBadResidue = errors.New("chem: invalid residue")
+
+// PeptideMass returns the neutral mass of the peptide seq (residue-mass sum
+// plus one water). It fails on the first non-standard residue code.
+func PeptideMass(seq []byte, t MassType) (float64, error) {
+	tab := Table(t)
+	var sum float64
+	for i, b := range seq {
+		m := tab[b]
+		if m == 0 {
+			return 0, fmt.Errorf("%w %q at position %d", ErrBadResidue, b, i)
+		}
+		sum += m
+	}
+	water := WaterMono
+	if t == Average {
+		water = WaterAvg
+	}
+	return sum + water, nil
+}
+
+// ResidueSum returns the residue-mass sum of seq without the water term,
+// treating unknown residues as zero mass. It is the hot-path variant used by
+// the digestion engine, which validates sequences once at load time.
+func ResidueSum(seq []byte, tab *[256]float64) float64 {
+	var sum float64
+	for _, b := range seq {
+		sum += tab[b]
+	}
+	return sum
+}
+
+// MZ converts a neutral mass to the mass-to-charge ratio observed for the
+// given positive charge state. charge must be >= 1.
+func MZ(neutral float64, charge int) float64 {
+	z := float64(charge)
+	return (neutral + z*ProtonMass) / z
+}
+
+// NeutralFromMZ inverts MZ: it recovers the neutral mass from an observed
+// m/z at the given charge state.
+func NeutralFromMZ(mz float64, charge int) float64 {
+	z := float64(charge)
+	return mz*z - z*ProtonMass
+}
+
+// Tolerance describes a symmetric mass-match window. If PPM is true the
+// window half-width is Value parts-per-million of the reference mass;
+// otherwise it is Value daltons.
+type Tolerance struct {
+	Value float64
+	PPM   bool
+}
+
+// DaltonTolerance returns an absolute tolerance of v daltons.
+func DaltonTolerance(v float64) Tolerance { return Tolerance{Value: v} }
+
+// PPMTolerance returns a relative tolerance of v parts-per-million.
+func PPMTolerance(v float64) Tolerance { return Tolerance{Value: v, PPM: true} }
+
+// Window returns the inclusive [lo, hi] interval of masses that match the
+// reference mass under the tolerance.
+func (t Tolerance) Window(ref float64) (lo, hi float64) {
+	d := t.Value
+	if t.PPM {
+		d = ref * t.Value * 1e-6
+	}
+	return ref - d, ref + d
+}
+
+// Matches reports whether candidate mass m matches reference mass ref.
+func (t Tolerance) Matches(ref, m float64) bool {
+	lo, hi := t.Window(ref)
+	return m >= lo && m <= hi
+}
+
+// String implements fmt.Stringer.
+func (t Tolerance) String() string {
+	if t.PPM {
+		return fmt.Sprintf("%gppm", t.Value)
+	}
+	return fmt.Sprintf("%gDa", t.Value)
+}
+
+// Mod describes a variable post-translational modification: a mass delta
+// that may be applied to any residue in Residues.
+type Mod struct {
+	// Name is a short human-readable label, e.g. "Oxidation(M)".
+	Name string
+	// Residues lists the single-letter codes the modification applies to.
+	Residues string
+	// Delta is the monoisotopic mass shift added by the modification.
+	Delta float64
+}
+
+// AppliesTo reports whether the modification can occur on residue b.
+func (m Mod) AppliesTo(b byte) bool {
+	for i := 0; i < len(m.Residues); i++ {
+		if m.Residues[i] == b {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (m Mod) String() string { return m.Name }
+
+// Common variable modifications offered by the command-line tools.
+var (
+	// OxidationM is methionine oxidation (+15.9949).
+	OxidationM = Mod{Name: "Oxidation(M)", Residues: "M", Delta: 15.9949146221}
+	// PhosphoSTY is serine/threonine/tyrosine phosphorylation (+79.9663).
+	PhosphoSTY = Mod{Name: "Phospho(STY)", Residues: "STY", Delta: 79.96633089}
+	// CarbamidomethylC is cysteine carbamidomethylation (+57.0215).
+	CarbamidomethylC = Mod{Name: "Carbamidomethyl(C)", Residues: "C", Delta: 57.02146372}
+	// DeamidationNQ is asparagine/glutamine deamidation (+0.9840).
+	DeamidationNQ = Mod{Name: "Deamidation(NQ)", Residues: "NQ", Delta: 0.98401558}
+)
+
+// ModByName resolves a modification by its canonical name (as printed by
+// Mod.String). It returns false for unknown names.
+func ModByName(name string) (Mod, bool) {
+	for _, m := range []Mod{OxidationM, PhosphoSTY, CarbamidomethylC, DeamidationNQ} {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mod{}, false
+}

@@ -1,0 +1,220 @@
+package chem
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResidueMassKnownValues(t *testing.T) {
+	cases := []struct {
+		aa   byte
+		mono float64
+	}{
+		{'G', 57.02146372},
+		{'K', 128.09496301},
+		{'W', 186.07931294},
+		{'L', 113.08406396},
+		{'I', 113.08406396}, // leucine/isoleucine isobaric
+	}
+	for _, c := range cases {
+		m, ok := ResidueMass(c.aa, Mono)
+		if !ok {
+			t.Fatalf("ResidueMass(%c) not found", c.aa)
+		}
+		if math.Abs(m-c.mono) > 1e-6 {
+			t.Errorf("ResidueMass(%c) = %v, want %v", c.aa, m, c.mono)
+		}
+	}
+}
+
+func TestAllTwentyResiduesPresent(t *testing.T) {
+	if len(Residues) != 20 {
+		t.Fatalf("Residues has %d entries, want 20", len(Residues))
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < len(Residues); i++ {
+		b := Residues[i]
+		if seen[b] {
+			t.Errorf("duplicate residue %c", b)
+		}
+		seen[b] = true
+		if !IsResidue(b) {
+			t.Errorf("IsResidue(%c) = false", b)
+		}
+		for _, mt := range []MassType{Mono, Average} {
+			if m, ok := ResidueMass(b, mt); !ok || m <= 0 {
+				t.Errorf("ResidueMass(%c, %v) = %v, %v", b, mt, m, ok)
+			}
+		}
+	}
+	for _, bad := range []byte{'B', 'J', 'O', 'U', 'X', 'Z', 'a', '1', '*', 0} {
+		if IsResidue(bad) {
+			t.Errorf("IsResidue(%c) = true for non-standard code", bad)
+		}
+	}
+}
+
+func TestAverageAtLeastMono(t *testing.T) {
+	// Average masses exceed monoisotopic masses for all residues (heavier
+	// isotopes only add mass).
+	for i := 0; i < len(Residues); i++ {
+		b := Residues[i]
+		mono, _ := ResidueMass(b, Mono)
+		avg, _ := ResidueMass(b, Average)
+		if avg < mono {
+			t.Errorf("residue %c: average %v < mono %v", b, avg, mono)
+		}
+	}
+}
+
+func TestPeptideMass(t *testing.T) {
+	// Glycine dipeptide: 2*G + water.
+	m, err := PeptideMass([]byte("GG"), Mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*57.02146372 + WaterMono
+	if math.Abs(m-want) > 1e-6 {
+		t.Errorf("PeptideMass(GG) = %v, want %v", m, want)
+	}
+	// Empty peptide is just water.
+	m, err = PeptideMass(nil, Mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-WaterMono) > 1e-9 {
+		t.Errorf("PeptideMass(empty) = %v, want water", m)
+	}
+}
+
+func TestPeptideMassBadResidue(t *testing.T) {
+	_, err := PeptideMass([]byte("PEPTIDEX"), Mono)
+	if err == nil {
+		t.Fatal("expected error for X residue")
+	}
+	if !strings.Contains(err.Error(), "position 7") {
+		t.Errorf("error should name the position: %v", err)
+	}
+}
+
+func TestPeptideMassAdditive(t *testing.T) {
+	// Property: mass(a+b) = mass(a) + mass(b) - water.
+	f := func(a, b uint8) bool {
+		s1 := Residues[int(a)%len(Residues)]
+		s2 := Residues[int(b)%len(Residues)]
+		pa, _ := PeptideMass([]byte{s1}, Mono)
+		pb, _ := PeptideMass([]byte{s2}, Mono)
+		pab, _ := PeptideMass([]byte{s1, s2}, Mono)
+		return math.Abs(pab-(pa+pb-WaterMono)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMZRoundTrip(t *testing.T) {
+	f := func(massMilli uint32, z8 uint8) bool {
+		mass := float64(massMilli%5_000_000)/1000 + 100
+		z := int(z8%4) + 1
+		back := NeutralFromMZ(MZ(mass, z), z)
+		return math.Abs(back-mass) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMZChargeOrdering(t *testing.T) {
+	// Higher charge → lower m/z for the same neutral mass.
+	mass := 2000.0
+	prev := math.Inf(1)
+	for z := 1; z <= 4; z++ {
+		mz := MZ(mass, z)
+		if mz >= prev {
+			t.Errorf("m/z at charge %d (%v) should be below charge %d", z, mz, z-1)
+		}
+		prev = mz
+	}
+}
+
+func TestToleranceWindow(t *testing.T) {
+	tol := DaltonTolerance(3)
+	lo, hi := tol.Window(1000)
+	if lo != 997 || hi != 1003 {
+		t.Errorf("Window(1000) = [%v,%v], want [997,1003]", lo, hi)
+	}
+	if !tol.Matches(1000, 997) || !tol.Matches(1000, 1003) {
+		t.Error("window bounds should match (inclusive)")
+	}
+	if tol.Matches(1000, 996.999) || tol.Matches(1000, 1003.001) {
+		t.Error("outside window should not match")
+	}
+
+	ppm := PPMTolerance(10)
+	lo, hi = ppm.Window(1000)
+	if math.Abs(lo-999.99) > 1e-9 || math.Abs(hi-1000.01) > 1e-9 {
+		t.Errorf("ppm Window(1000) = [%v,%v]", lo, hi)
+	}
+}
+
+func TestToleranceWindowSymmetric(t *testing.T) {
+	f := func(refMilli uint32, valMilli uint16, isPPM bool) bool {
+		ref := float64(refMilli%4_000_000)/1000 + 200
+		tol := Tolerance{Value: float64(valMilli) / 100, PPM: isPPM}
+		lo, hi := tol.Window(ref)
+		return math.Abs((ref-lo)-(hi-ref)) < 1e-9 && lo <= ref && ref <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToleranceString(t *testing.T) {
+	if got := DaltonTolerance(3).String(); got != "3Da" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := PPMTolerance(10).String(); got != "10ppm" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMods(t *testing.T) {
+	if !OxidationM.AppliesTo('M') || OxidationM.AppliesTo('K') {
+		t.Error("OxidationM residue targeting wrong")
+	}
+	if !PhosphoSTY.AppliesTo('S') || !PhosphoSTY.AppliesTo('T') || !PhosphoSTY.AppliesTo('Y') {
+		t.Error("PhosphoSTY residue targeting wrong")
+	}
+	for _, name := range []string{"Oxidation(M)", "Phospho(STY)", "Carbamidomethyl(C)", "Deamidation(NQ)"} {
+		m, ok := ModByName(name)
+		if !ok || m.Name != name {
+			t.Errorf("ModByName(%q) = %+v, %v", name, m, ok)
+		}
+	}
+	if _, ok := ModByName("Nonexistent"); ok {
+		t.Error("ModByName should fail for unknown names")
+	}
+}
+
+func TestResidueSumMatchesPeptideMass(t *testing.T) {
+	seq := []byte("ACDEFGHIKLMNPQRSTVWY")
+	sum := ResidueSum(seq, Table(Mono))
+	m, err := PeptideMass(seq, Mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum+WaterMono-m) > 1e-9 {
+		t.Errorf("ResidueSum+water = %v, PeptideMass = %v", sum+WaterMono, m)
+	}
+}
+
+func TestMassTypeString(t *testing.T) {
+	if Mono.String() != "mono" || Average.String() != "average" {
+		t.Error("MassType.String wrong")
+	}
+	if MassType(9).String() != "MassType(9)" {
+		t.Error("unknown MassType.String wrong")
+	}
+}

@@ -1,0 +1,538 @@
+// Package cluster provides a virtual distributed-memory machine: the
+// substrate that stands in for the paper's MPI cluster. Each rank runs as a
+// goroutine with private memory; ranks interact only through the machine's
+// primitives — point-to-point messages, tree collectives (Barrier,
+// Allreduce, Bcast, Gather), a personalized all-to-all (Alltoallv), and
+// one-sided RMA windows (Expose / Get / Wait) with the non-blocking,
+// target-passive semantics of MPI_Get over RDMA.
+//
+// Alongside real data movement, every rank carries a deterministic virtual
+// clock driven by a LogGP-style CostModel: computation is charged with
+// Compute, messages cost λ + bytes·μ (with NIC sharing), collectives cost
+// ⌈log₂p⌉ rounds, and a Wait on a one-sided get advances the clock only by
+// the transfer time not already hidden behind computation — which is
+// exactly the paper's communication–computation masking, and lets the
+// library reproduce the paper's timing experiments deterministically on a
+// single host.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config configures a virtual machine.
+type Config struct {
+	// Ranks is p, the number of processors.
+	Ranks int
+	// Cost is the network/compute cost model (zero value: free network).
+	Cost CostModel
+	// MailboxDepth bounds buffered point-to-point messages per receiver
+	// (default 4096).
+	MailboxDepth int
+}
+
+// Machine is a virtual distributed-memory machine. Create with New, run a
+// rank program with Run, then inspect per-rank Stats and virtual times.
+type Machine struct {
+	cfg   Config
+	ranks []*Rank
+
+	mailbox []chan message
+
+	windowMu sync.Mutex
+	windows  map[windowKey]*window
+
+	coll  *phaser
+	world *commShared
+
+	abortOnce sync.Once
+	abort     chan struct{}
+	abortErr  error
+}
+
+type windowKey struct {
+	owner int
+	name  string
+}
+
+type window struct {
+	data       []byte
+	exposeTime float64
+	ready      chan struct{}
+}
+
+type message struct {
+	from    int
+	tag     string
+	payload []byte
+	arrival float64
+}
+
+// ErrAborted is reported when a machine operation is interrupted because
+// another rank failed.
+var ErrAborted = errors.New("cluster: machine aborted")
+
+// New creates a machine with p ranks.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 rank, got %d", cfg.Ranks)
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 4096
+	}
+	m := &Machine{
+		cfg:     cfg,
+		windows: make(map[windowKey]*window),
+		abort:   make(chan struct{}),
+	}
+	m.coll = newPhaser(cfg.Ranks)
+	worldRanks := make([]int, cfg.Ranks)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+	m.world = &commShared{ranks: worldRanks, ph: m.coll}
+	m.mailbox = make([]chan message, cfg.Ranks)
+	m.ranks = make([]*Rank, cfg.Ranks)
+	for i := 0; i < cfg.Ranks; i++ {
+		m.mailbox[i] = make(chan message, cfg.MailboxDepth)
+		m.ranks[i] = &Rank{m: m, id: i, pending: make(map[int][]message), progress: newProgressLog()}
+	}
+	return m, nil
+}
+
+// Ranks returns p.
+func (m *Machine) Ranks() int { return m.cfg.Ranks }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() CostModel { return m.cfg.Cost }
+
+// doAbort records the first failure and unblocks every primitive.
+func (m *Machine) doAbort(err error) {
+	m.abortOnce.Do(func() {
+		m.abortErr = err
+		close(m.abort)
+	})
+}
+
+// aborted panics with ErrAborted; the panic is recovered by Run.
+func (m *Machine) aborted() {
+	panic(abortPanic{})
+}
+
+type abortPanic struct{}
+
+// Run executes body once per rank, concurrently, and waits for all ranks to
+// finish. The first error (or panic) aborts the whole machine and is
+// returned; every other rank's blocked primitive unwinds cleanly.
+//
+// Run may be called repeatedly on the same machine; clocks and statistics
+// accumulate across calls (use Reset to clear them).
+func (m *Machine) Run(body func(r *Rank) error) error {
+	var wg sync.WaitGroup
+	for _, r := range m.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() { r.progress.finish(r.clock) }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, isAbort := rec.(abortPanic); isAbort {
+						return // unwound because another rank failed
+					}
+					m.doAbort(fmt.Errorf("cluster: rank %d panicked: %v", r.id, rec))
+				}
+			}()
+			if err := body(r); err != nil {
+				m.doAbort(fmt.Errorf("cluster: rank %d: %w", r.id, err))
+			}
+		}(r)
+	}
+	wg.Wait()
+	return m.abortErr
+}
+
+// Rank returns rank i's handle (for post-run stats inspection).
+func (m *Machine) Rank(i int) *Rank { return m.ranks[i] }
+
+// MaxTime returns the parallel run-time: the maximum virtual clock across
+// ranks.
+func (m *Machine) MaxTime() float64 {
+	var max float64
+	for _, r := range m.ranks {
+		if r.clock > max {
+			max = r.clock
+		}
+	}
+	return max
+}
+
+// Reset clears clocks, statistics, windows, and pending messages, leaving
+// the machine ready for a fresh Run. It must not be called concurrently
+// with Run.
+func (m *Machine) Reset() {
+	for i, r := range m.ranks {
+		r.clock = 0
+		r.Stats = Stats{}
+		r.pending = make(map[int][]message)
+		r.progress.reset()
+	drain:
+		for {
+			select {
+			case <-m.mailbox[i]:
+			default:
+				break drain
+			}
+		}
+	}
+	m.windowMu.Lock()
+	m.windows = make(map[windowKey]*window)
+	m.windowMu.Unlock()
+}
+
+// Stats aggregates one rank's accounting.
+type Stats struct {
+	// ComputeSec is the virtual CPU time charged via Compute.
+	ComputeSec float64
+	// TotalCommSec is the full (unmasked) cost of every communication
+	// operation the rank issued.
+	TotalCommSec float64
+	// ResidualCommSec is the portion of TotalCommSec that was NOT hidden
+	// behind computation — the paper's "residual communication" that alone
+	// contributes to run-time.
+	ResidualCommSec float64
+	// SyncWaitSec is time spent waiting for slower ranks at collective
+	// entry (load-imbalance skew, distinct from transfer cost).
+	SyncWaitSec float64
+	// BytesSent and BytesReceived count payload bytes.
+	BytesSent, BytesReceived int64
+	// RMABytesReceived counts the subset of BytesReceived transported by
+	// one-sided gets (the database-transport traffic of Algorithms A/B).
+	RMABytesReceived int64
+	// Messages counts point-to-point sends plus one-sided gets issued.
+	Messages int64
+	// ResidentBytes is the rank's current tracked allocation;
+	// MaxResidentBytes its high-water mark (the space-optimality check).
+	ResidentBytes, MaxResidentBytes int64
+}
+
+// Rank is one virtual processor. All methods must be called only from the
+// goroutine running this rank's body.
+type Rank struct {
+	m        *Machine
+	id       int
+	clock    float64
+	pending  map[int][]message
+	progress *progressLog
+
+	// Stats is the rank's accounting; readable after Run completes.
+	Stats Stats
+}
+
+// noteProgress publishes the rank's current clock as an instant MPI
+// progress point (target-progress RMA mode only).
+func (r *Rank) noteProgress() {
+	if r.m.cfg.Cost.RMATargetProgress {
+		r.progress.publish(r.clock)
+	}
+}
+
+// noteCollectiveEnter opens a blocking in-MPI interval for a collective.
+// Its exit provably postdates any request it could unblock (machine- or
+// group-wide rendezvous), so the bound is infinite.
+func (r *Rank) noteCollectiveEnter() {
+	if r.m.cfg.Cost.RMATargetProgress {
+		r.progress.enter(r.clock, infBound)
+	}
+}
+
+// noteExit closes the rank's open in-MPI interval at the current clock.
+func (r *Rank) noteExit() {
+	if r.m.cfg.Cost.RMATargetProgress {
+		r.progress.exit(r.clock)
+	}
+}
+
+// ID returns the rank index in [0, p).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns p.
+func (r *Rank) Size() int { return r.m.cfg.Ranks }
+
+// Time returns the rank's current virtual clock in seconds.
+func (r *Rank) Time() float64 { return r.clock }
+
+// Cost returns the machine's cost model, for analytic compute charging.
+func (r *Rank) Cost() CostModel { return r.m.cfg.Cost }
+
+// Compute advances the virtual clock by sec seconds of computation.
+func (r *Rank) Compute(sec float64) {
+	if sec < 0 {
+		sec = 0
+	}
+	r.clock += sec
+	r.Stats.ComputeSec += sec
+}
+
+// ChargeComm advances the clock by sec seconds of unmaskable communication
+// cost. It lets higher layers model transports the primitive set does not
+// capture directly (e.g. a ring-algorithm large-vector allreduce).
+func (r *Rank) ChargeComm(sec float64) {
+	if sec < 0 {
+		sec = 0
+	}
+	r.clock += sec
+	r.Stats.TotalCommSec += sec
+	r.Stats.ResidualCommSec += sec
+}
+
+// NoteAlloc records bytes of private memory acquired by the rank program
+// (database buffers, indexes); NoteFree records their release. The high
+// -water mark verifies the O((N+m)/p) space claim.
+func (r *Rank) NoteAlloc(bytes int64) {
+	r.Stats.ResidentBytes += bytes
+	if r.Stats.ResidentBytes > r.Stats.MaxResidentBytes {
+		r.Stats.MaxResidentBytes = r.Stats.ResidentBytes
+	}
+}
+
+// NoteFree releases bytes previously recorded with NoteAlloc.
+func (r *Rank) NoteFree(bytes int64) {
+	r.Stats.ResidentBytes -= bytes
+	if r.Stats.ResidentBytes < 0 {
+		r.Stats.ResidentBytes = 0
+	}
+}
+
+// Send delivers payload to rank `to` with an identifying tag. The sender is
+// charged only its CPU overhead; transfer time is realized at the receiver.
+func (r *Rank) Send(to int, tag string, payload []byte) {
+	if to < 0 || to >= r.Size() {
+		panic(fmt.Sprintf("cluster: rank %d Send to invalid rank %d", r.id, to))
+	}
+	r.noteProgress()
+	cost := r.m.cfg.Cost
+	r.clock += cost.SendOverheadSec
+	xfer := cost.XferSec(len(payload), r.Size())
+	r.Stats.TotalCommSec += cost.SendOverheadSec
+	r.Stats.BytesSent += int64(len(payload))
+	r.Stats.Messages++
+	msg := message{from: r.id, tag: tag, payload: payload, arrival: r.clock + xfer}
+	select {
+	case r.m.mailbox[to] <- msg:
+	case <-r.m.abort:
+		r.m.aborted()
+	}
+}
+
+// Recv blocks until a message from rank `from` is available and returns its
+// tag and payload, advancing the clock to the message's arrival time.
+func (r *Rank) Recv(from int) (tag string, payload []byte) {
+	r.noteProgress()
+	for {
+		if q := r.pending[from]; len(q) > 0 {
+			msg := q[0]
+			r.pending[from] = q[1:]
+			return r.deliver(msg)
+		}
+		r.pullOne()
+	}
+}
+
+// RecvAny blocks until any message is available. Among already-queued
+// messages it picks the earliest virtual arrival (ties to the lowest rank)
+// to keep timing as schedule-independent as possible.
+func (r *Rank) RecvAny() (from int, tag string, payload []byte) {
+	r.noteProgress()
+	// Drain anything immediately available so the arrival-time choice sees
+	// all queued messages.
+	for {
+		select {
+		case msg := <-r.m.mailbox[r.id]:
+			r.pending[msg.from] = append(r.pending[msg.from], msg)
+			continue
+		default:
+		}
+		break
+	}
+	if from, ok := r.earliestPending(); ok {
+		q := r.pending[from]
+		msg := q[0]
+		r.pending[from] = q[1:]
+		tag, payload = r.deliver(msg)
+		return msg.from, tag, payload
+	}
+	r.pullOne()
+	return r.RecvAny()
+}
+
+func (r *Rank) earliestPending() (int, bool) {
+	best := -1
+	var bestArrival float64
+	senders := make([]int, 0, len(r.pending))
+	for from, q := range r.pending {
+		if len(q) > 0 {
+			senders = append(senders, from)
+		}
+	}
+	sort.Ints(senders)
+	for _, from := range senders {
+		a := r.pending[from][0].arrival
+		if best < 0 || a < bestArrival {
+			best, bestArrival = from, a
+		}
+	}
+	return best, best >= 0
+}
+
+func (r *Rank) pullOne() {
+	select {
+	case msg := <-r.m.mailbox[r.id]:
+		r.pending[msg.from] = append(r.pending[msg.from], msg)
+	case <-r.m.abort:
+		r.m.aborted()
+	}
+}
+
+// deliver advances the receiver clock to the arrival time and accounts the
+// transfer. The wait splits into a communication part (up to the transfer
+// cost) and a synchronization part (the sender had not reached its send
+// yet — load imbalance, not network time).
+func (r *Rank) deliver(msg message) (string, []byte) {
+	xfer := r.m.cfg.Cost.XferSec(len(msg.payload), r.Size())
+	if wait := msg.arrival - r.clock; wait > 0 {
+		r.clock = msg.arrival
+		comm := wait
+		if comm > xfer {
+			comm = xfer
+		}
+		r.Stats.ResidualCommSec += comm
+		r.Stats.SyncWaitSec += wait - comm
+	}
+	r.Stats.TotalCommSec += xfer
+	r.Stats.BytesReceived += int64(len(msg.payload))
+	r.noteProgress() // post-receive progress point (target-progress mode)
+	return msg.tag, msg.payload
+}
+
+// Expose publishes data under name as a one-sided RMA window owned by this
+// rank. The data must not be mutated while exposed (standard RMA epoch
+// discipline); Get copies out of it without involving this rank's clock —
+// the "without disturbing the remote processor" property of MPI_Get.
+func (r *Rank) Expose(name string, data []byte) {
+	r.noteProgress()
+	r.m.windowMu.Lock()
+	defer r.m.windowMu.Unlock()
+	key := windowKey{owner: r.id, name: name}
+	if w, ok := r.m.windows[key]; ok {
+		// Re-exposure replaces the data in a new epoch.
+		w.data = data
+		w.exposeTime = r.clock
+		select {
+		case <-w.ready:
+		default:
+			close(w.ready)
+		}
+		return
+	}
+	w := &window{data: data, exposeTime: r.clock, ready: make(chan struct{})}
+	close(w.ready)
+	r.m.windows[key] = w
+}
+
+// Pending is an in-flight one-sided get; Wait completes it.
+type Pending struct {
+	r            *Rank
+	owner        int
+	name         string
+	issueTime    float64
+	issueCompute float64 // rank's ComputeSec at issue, to detect blocking use
+	done         bool
+}
+
+// Get initiates a non-blocking one-sided read of rank owner's window. The
+// issuing rank may compute while the transfer proceeds; the transfer cost
+// is charged at Wait, masked by any computation performed in between.
+func (r *Rank) Get(owner int, name string) *Pending {
+	if owner < 0 || owner >= r.Size() {
+		panic(fmt.Sprintf("cluster: rank %d Get from invalid rank %d", r.id, owner))
+	}
+	r.Stats.Messages++
+	return &Pending{r: r, owner: owner, name: name, issueTime: r.clock, issueCompute: r.Stats.ComputeSec}
+}
+
+// Wait completes the get and returns a private copy of the window data.
+// The clock advances only by the residual (unmasked) transfer time:
+// completion = max(issueTime, exposeTime) + λ + bytes·μ, and the rank's
+// clock becomes max(clock, completion).
+func (p *Pending) Wait() ([]byte, error) {
+	if p.done {
+		return nil, errors.New("cluster: Wait called twice on the same Pending")
+	}
+	p.done = true
+	r := p.r
+	r.noteProgress()
+	key := windowKey{owner: p.owner, name: p.name}
+	r.m.windowMu.Lock()
+	w, ok := r.m.windows[key]
+	r.m.windowMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: rank %d: no window %q exposed by rank %d", r.id, p.name, p.owner)
+	}
+	select {
+	case <-w.ready:
+	case <-r.m.abort:
+		r.m.aborted()
+	}
+	r.m.windowMu.Lock()
+	data, exposeTime := w.data, w.exposeTime
+	r.m.windowMu.Unlock()
+
+	start := p.issueTime
+	if exposeTime > start {
+		start = exposeTime
+	}
+	blocking := r.Stats.ComputeSec == p.issueCompute
+	cost := r.m.cfg.Cost
+	xfer := cost.RMAXferSec(len(data), r.Size(), blocking)
+	completion := start + xfer
+	if cost.RMATargetProgress && p.owner != r.id {
+		// Software-emulated passive-target RMA: the request reaches the
+		// target at start+λ but is serviced only at the target's next MPI
+		// progress instant; the transfer follows. While this rank blocks
+		// here it is itself in-MPI and serviceable, with its own exit
+		// provably at or after start+xfer.
+		r.progress.enter(r.clock, start+xfer)
+		arrival := start + cost.LatencySec
+		svc := r.m.ranks[p.owner].progress.serviceTime(arrival, r.m.abort, r.m.aborted)
+		if svc+xfer > completion {
+			completion = svc + xfer
+		}
+	}
+	r.Stats.BytesReceived += int64(len(data))
+	r.Stats.RMABytesReceived += int64(len(data))
+	waited := completion - r.clock
+	if waited < 0 {
+		waited = 0
+	}
+	// The op's total cost is its transfer time or, when the target's
+	// service delay (target-progress mode) or exposure lag stretched the
+	// wait, the full unmasked wait — keeping residual ≤ total per op.
+	if waited > xfer {
+		r.Stats.TotalCommSec += waited
+	} else {
+		r.Stats.TotalCommSec += xfer
+	}
+	if waited > 0 {
+		r.Stats.ResidualCommSec += waited
+		r.clock = completion
+	}
+	if cost.RMATargetProgress && p.owner != r.id {
+		r.progress.exit(r.clock)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}

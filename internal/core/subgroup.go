@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"pepscale/internal/cluster"
+)
+
+// subGroupBody implements the extension the paper proposes for
+// medium-range inputs: "processors can divide themselves into smaller
+// sub-groups, where the database is partitioned within each sub-group and
+// the query set is partitioned across sub-groups."
+//
+// With g groups of size gs = p/g, each rank holds an O(N/gs) database
+// block (more memory than Algorithm A's N/p, still far below the
+// master–worker's N) but performs only gs−1 block transfers instead of
+// p−1, trading space for communication.
+func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared) error {
+	p, id := r.Size(), r.ID()
+	gs := p / groups
+	if gs < 1 {
+		return fmt.Errorf("core: %d groups exceed %d ranks", groups, p)
+	}
+	group := id / gs
+	local := id % gs
+	t0 := r.Time()
+	l, err := loadPhase(r, in, opt, gs, local)
+	if err != nil {
+		return err
+	}
+	l.cache = sh.cache
+	// Each group is an independent communicator: database transport and
+	// the exposure epoch stay group-local, so groups never synchronize
+	// with each other until the final result gather.
+	comm := r.World().Split(group, local)
+	r.Expose(dbWindow, l.myBytes)
+	comm.Barrier()
+	loadSec := r.Time() - t0
+
+	curRecs, curBase := l.recs, l.bases[local]
+	curRaw := l.myBytes
+	var curAlloc int64
+	var candidates int64
+	for s := 0; s < gs; s++ {
+		nextBlock := (local + s + 1) % gs
+		nextOwner := group*gs + nextBlock
+		var pending *cluster.Pending
+		if opt.Masking && s+1 < gs {
+			pending = r.Get(nextOwner, dbWindow)
+		}
+		c, err := processBlock(r, l, opt, l.qs, l.lists, curRecs, contiguousGIDs(curBase, len(curRecs)), blockIDResolver(curRecs, curBase), curRaw, uint64(curBase))
+		if err != nil {
+			return err
+		}
+		candidates += c
+		if s+1 < gs {
+			if !opt.Masking {
+				pending = r.Get(nextOwner, dbWindow)
+			}
+			data, err := pending.Wait()
+			if err != nil {
+				return err
+			}
+			r.NoteAlloc(int64(len(data)))
+			if curAlloc > 0 {
+				r.NoteFree(curAlloc)
+			}
+			curAlloc = int64(len(data))
+			curRecs, err = l.cache.recsFor(data)
+			if err != nil {
+				return fmt.Errorf("rank %d: block from rank %d: %w", id, nextOwner, err)
+			}
+			curBase = l.bases[nextBlock]
+			curRaw = data
+		}
+	}
+	if curAlloc > 0 {
+		r.NoteFree(curAlloc)
+	}
+	return finishRun(r, l, sh, queryIndices(l.qlo, l.qhi), loadSec, 0, candidates)
+}

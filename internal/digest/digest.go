@@ -1,0 +1,376 @@
+// Package digest generates candidate peptides from protein sequences using
+// the empirical enzymatic-digestion rules of database searching: tryptic
+// cleavage (after K/R, not before P) with missed cleavages, optional
+// semi-tryptic prefix/suffix candidates (the paper's "a suffix or prefix of
+// another (known) peptide sequence is said to be a candidate for q if the
+// suffix's/prefix's m/z is m(q) ± δ"), and optional variable
+// post-translational modifications.
+//
+// The package also provides the mass-sorted candidate index used by the
+// search engines: per database block, peptides are indexed by neutral
+// parent mass so candidates for a query window [m(q)−δ, m(q)+δ] are found
+// with two binary searches.
+package digest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pepscale/internal/chem"
+	"pepscale/internal/fasta"
+)
+
+// Params configure candidate generation.
+type Params struct {
+	// MissedCleavages allows up to this many internal uncleaved K/R sites.
+	MissedCleavages int
+	// MinLength / MaxLength bound the peptide length in residues.
+	MinLength, MaxLength int
+	// MinMass / MaxMass bound the neutral peptide mass in daltons.
+	MinMass, MaxMass float64
+	// SemiTryptic additionally emits every sufficiently long proper prefix
+	// and suffix of each fully tryptic peptide.
+	SemiTryptic bool
+	// Mods lists the variable modifications to consider.
+	Mods []chem.Mod
+	// MaxModsPerPeptide caps simultaneous modifications on one peptide.
+	MaxModsPerPeptide int
+	// MaxVariantsPerPeptide caps the combinatorial expansion per base
+	// peptide (0 means the default of 64).
+	MaxVariantsPerPeptide int
+	// MassType selects the parent-mass scale.
+	MassType chem.MassType
+}
+
+// DefaultParams returns the engine defaults: fully tryptic, up to 2 missed
+// cleavages, length 6..50, mass 500..5000 Da, no modifications.
+func DefaultParams() Params {
+	return Params{
+		MissedCleavages: 2,
+		MinLength:       6,
+		MaxLength:       50,
+		MinMass:         500,
+		MaxMass:         5000,
+	}
+}
+
+func (p Params) maxVariants() int {
+	if p.MaxVariantsPerPeptide <= 0 {
+		return 64
+	}
+	return p.MaxVariantsPerPeptide
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.MissedCleavages < 0 {
+		return fmt.Errorf("digest: negative missed cleavages %d", p.MissedCleavages)
+	}
+	if p.MinLength < 1 || p.MaxLength < p.MinLength {
+		return fmt.Errorf("digest: invalid length bounds [%d,%d]", p.MinLength, p.MaxLength)
+	}
+	if p.MinMass < 0 || p.MaxMass < p.MinMass {
+		return fmt.Errorf("digest: invalid mass bounds [%g,%g]", p.MinMass, p.MaxMass)
+	}
+	if p.MaxModsPerPeptide < 0 {
+		return fmt.Errorf("digest: negative mod cap %d", p.MaxModsPerPeptide)
+	}
+	return nil
+}
+
+// ModSite records one applied modification: Mods[Mod] applied at residue
+// position Pos of the peptide.
+type ModSite struct {
+	Pos uint16
+	Mod uint8
+}
+
+// Peptide is one candidate: a subsequence of a database protein plus any
+// applied modifications. Seq aliases the protein's residue storage — no
+// copies are made during digestion.
+type Peptide struct {
+	Seq     []byte
+	Protein int32
+	Mass    float64
+	Sites   []ModSite // nil when unmodified
+}
+
+// Annotated renders the peptide with bracketed modification deltas, e.g.
+// "AM[+15.99]K". mods must be the Params.Mods used during digestion.
+func (p Peptide) Annotated(mods []chem.Mod) string {
+	if len(p.Sites) == 0 {
+		return string(p.Seq)
+	}
+	var sb strings.Builder
+	site := 0
+	for i, b := range p.Seq {
+		sb.WriteByte(b)
+		for site < len(p.Sites) && int(p.Sites[site].Pos) == i {
+			fmt.Fprintf(&sb, "[%+.2f]", mods[p.Sites[site].Mod].Delta)
+			site++
+		}
+	}
+	return sb.String()
+}
+
+// ModDeltas expands Sites into a per-residue delta slice (nil when
+// unmodified), the form consumed by theoretical spectrum generation.
+func (p Peptide) ModDeltas(mods []chem.Mod) []float64 {
+	if len(p.Sites) == 0 {
+		return nil
+	}
+	d := make([]float64, len(p.Seq))
+	for _, s := range p.Sites {
+		d[s.Pos] += mods[s.Mod].Delta
+	}
+	return d
+}
+
+// CleavageSites returns the tryptic cut positions of seq in ascending
+// order, always including 0 and len(seq). A cut at position i means the
+// bond between seq[i-1] and seq[i] is cleavable: after K or R, unless the
+// next residue is P.
+func CleavageSites(seq []byte) []int {
+	if len(seq) == 0 {
+		return nil
+	}
+	sites := []int{0}
+	for i := 1; i < len(seq); i++ {
+		prev := seq[i-1]
+		if (prev == 'K' || prev == 'R') && seq[i] != 'P' {
+			sites = append(sites, i)
+		}
+	}
+	if len(seq) > 0 {
+		sites = append(sites, len(seq))
+	}
+	return sites
+}
+
+// Digest enumerates the candidate peptides of one protein and passes each
+// to emit. protein is the global index recorded on the peptides. Sequences
+// containing non-standard residues (B, J, O, U, X, Z) have those segments
+// skipped: a peptide is emitted only if every residue is standard.
+func Digest(seq []byte, protein int32, p Params, emit func(Peptide)) {
+	sites := CleavageSites(seq)
+	if len(sites) < 2 {
+		return
+	}
+	tab := chem.Table(p.MassType)
+	water := chem.WaterMono
+	if p.MassType == chem.Average {
+		water = chem.WaterAvg
+	}
+	for i := 0; i+1 < len(sites); i++ {
+		for mc := 0; mc <= p.MissedCleavages && i+1+mc < len(sites); mc++ {
+			start, end := sites[i], sites[i+1+mc]
+			pep := seq[start:end]
+			if len(pep) > p.MaxLength && !p.SemiTryptic {
+				// Longer spans only grow; no further missed cleavages help.
+				break
+			}
+			emitForms(pep, protein, p, tab, water, emit)
+		}
+	}
+}
+
+// emitForms emits the fully tryptic peptide and, if enabled, its
+// semi-tryptic prefixes/suffixes; each form is further expanded over
+// modification variants.
+func emitForms(pep []byte, protein int32, p Params, tab *[256]float64, water float64, emit func(Peptide)) {
+	emitOne := func(sub []byte) {
+		if len(sub) < p.MinLength || len(sub) > p.MaxLength || !allStandard(sub) {
+			return
+		}
+		base := chem.ResidueSum(sub, tab) + water
+		expandMods(sub, protein, base, p, emit)
+	}
+	emitOne(pep)
+	if p.SemiTryptic {
+		// Proper prefixes and suffixes; the full peptide was emitted above.
+		for l := p.MinLength; l < len(pep); l++ {
+			emitOne(pep[:l])
+			emitOne(pep[len(pep)-l:])
+		}
+	}
+}
+
+func allStandard(seq []byte) bool {
+	for _, b := range seq {
+		if !chem.IsResidue(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandMods emits the unmodified peptide plus modification variants, in a
+// deterministic order, respecting the mass window and variant cap.
+func expandMods(pep []byte, protein int32, baseMass float64, p Params, emit func(Peptide)) {
+	if baseMass >= p.MinMass && baseMass <= p.MaxMass {
+		emit(Peptide{Seq: pep, Protein: protein, Mass: baseMass})
+	}
+	if len(p.Mods) == 0 || p.MaxModsPerPeptide == 0 {
+		return
+	}
+	// Collect applicable (position, mod) sites in deterministic order.
+	type cand struct {
+		pos int
+		mod int
+	}
+	var cands []cand
+	for i, b := range pep {
+		for mi, m := range p.Mods {
+			if m.AppliesTo(b) {
+				cands = append(cands, cand{pos: i, mod: mi})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	budget := p.maxVariants()
+	var sites []ModSite
+	var mass float64
+	var rec func(next, depth int)
+	rec = func(next, depth int) {
+		if budget <= 0 {
+			return
+		}
+		for c := next; c < len(cands); c++ {
+			if budget <= 0 {
+				return
+			}
+			// At most one modification per residue position.
+			if len(sites) > 0 && int(sites[len(sites)-1].Pos) == cands[c].pos {
+				continue
+			}
+			sites = append(sites, ModSite{Pos: uint16(cands[c].pos), Mod: uint8(cands[c].mod)})
+			mass += p.Mods[cands[c].mod].Delta
+			total := baseMass + mass
+			if total >= p.MinMass && total <= p.MaxMass {
+				out := make([]ModSite, len(sites))
+				copy(out, sites)
+				emit(Peptide{Seq: pep, Protein: protein, Mass: total, Sites: out})
+				budget--
+			}
+			if depth+1 < p.MaxModsPerPeptide {
+				rec(c+1, depth+1)
+			}
+			mass -= p.Mods[cands[c].mod].Delta
+			sites = sites[:len(sites)-1]
+		}
+	}
+	rec(0, 0)
+}
+
+// Index is a mass-sorted candidate store for one database block.
+type Index struct {
+	params Params
+	peps   []Peptide
+}
+
+// NewIndex digests every record and builds the mass-sorted index.
+// baseProtein is added to each record's position to form its global protein
+// index (blocks of a distributed database carry their global offsets).
+func NewIndex(recs []fasta.Record, baseProtein int32, p Params) (*Index, error) {
+	gids := make([]int32, len(recs))
+	for i := range gids {
+		gids[i] = baseProtein + int32(i)
+	}
+	return NewIndexIDs(recs, gids, p)
+}
+
+// NewIndexIDs is NewIndex with an explicit global protein index per record,
+// as needed after the m/z redistribution of Algorithm B scrambles block
+// membership.
+func NewIndexIDs(recs []fasta.Record, gids []int32, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gids) != len(recs) {
+		return nil, fmt.Errorf("digest: %d records but %d protein ids", len(recs), len(gids))
+	}
+	ix := &Index{params: p}
+	for i, rec := range recs {
+		Digest(rec.Seq, gids[i], p, func(pep Peptide) {
+			ix.peps = append(ix.peps, pep)
+		})
+	}
+	ix.sort()
+	return ix, nil
+}
+
+// IndexFromPeptides builds an index directly from pre-generated peptides —
+// the path used by the candidate-transport engine, where candidates arrive
+// over the network already digested. The peptides are (re)sorted into the
+// canonical mass order.
+func IndexFromPeptides(peps []Peptide, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{params: p, peps: peps}
+	ix.sort()
+	return ix, nil
+}
+
+// sort orders peptides by mass with a deterministic total tie-break so that
+// identical databases produce identical indexes regardless of block
+// boundaries.
+func (ix *Index) sort() {
+	sort.Slice(ix.peps, func(i, j int) bool {
+		a, b := ix.peps[i], ix.peps[j]
+		if a.Mass != b.Mass {
+			return a.Mass < b.Mass
+		}
+		if c := bytes.Compare(a.Seq, b.Seq); c != 0 {
+			return c < 0
+		}
+		if a.Protein != b.Protein {
+			return a.Protein < b.Protein
+		}
+		return len(a.Sites) < len(b.Sites)
+	})
+}
+
+// Params returns the digestion parameters the index was built with.
+func (ix *Index) Params() Params { return ix.params }
+
+// Len returns the number of indexed candidate peptides.
+func (ix *Index) Len() int { return len(ix.peps) }
+
+// At returns the i-th peptide in mass order.
+func (ix *Index) At(i int) Peptide { return ix.peps[i] }
+
+// Window returns the index range [start, end) of peptides with mass in
+// [lo, hi].
+func (ix *Index) Window(lo, hi float64) (start, end int) {
+	start = sort.Search(len(ix.peps), func(i int) bool { return ix.peps[i].Mass >= lo })
+	end = sort.Search(len(ix.peps), func(i int) bool { return ix.peps[i].Mass > hi })
+	return start, end
+}
+
+// CountInWindow returns the number of candidates with mass in [lo, hi].
+func (ix *Index) CountInWindow(lo, hi float64) int {
+	s, e := ix.Window(lo, hi)
+	return e - s
+}
+
+// MinMass and MaxMass return the smallest/largest indexed masses (0,0 for
+// an empty index).
+func (ix *Index) MinMass() float64 {
+	if len(ix.peps) == 0 {
+		return 0
+	}
+	return ix.peps[0].Mass
+}
+
+// MaxMass returns the largest indexed mass (0 for an empty index).
+func (ix *Index) MaxMass() float64 {
+	if len(ix.peps) == 0 {
+		return 0
+	}
+	return ix.peps[len(ix.peps)-1].Mass
+}

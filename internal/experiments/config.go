@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the virtual cluster. Each experiment prints a
+// paper-style table and returns it (with CSV available) so the same code
+// serves the cmd/paperbench tool and the repository's benchmark suite.
+//
+// Problem sizes are scaled relative to the paper (synthetic data, fewer
+// queries, smaller database subsets) — EXPERIMENTS.md records the mapping
+// and compares shapes. The Scale knob grows or shrinks everything together.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pepscale/internal/cluster"
+	"pepscale/internal/core"
+	"pepscale/internal/fasta"
+	"pepscale/internal/spectrum"
+	"pepscale/internal/synth"
+)
+
+// Config parameterizes the harness.
+type Config struct {
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Cost is the cluster cost model.
+	Cost cluster.CostModel
+	// Opt are the search options shared by all timing experiments.
+	Opt core.Options
+	// QueryCount is the query-spectra count (the paper uses 1,210 human
+	// spectra for every experiment).
+	QueryCount int
+	// QueryDBSize is the size of the human-like database the query spectra
+	// are drawn from (queries are independent of the searched database, as
+	// in the paper).
+	QueryDBSize int
+	// DBSizes are the Table II database subset sizes (sequences).
+	DBSizes []int
+	// Procs are the Table II processor counts.
+	Procs []int
+	// Table4Size and Table4Procs configure the A-vs-B comparison (the
+	// paper uses a 20K-sequence database on p = 1…64).
+	Table4Size  int
+	Table4Procs []int
+	// SubGroupSize and SubGroupGroups configure the sub-group experiment.
+	SubGroupSize   int
+	SubGroupGroups []int
+	// CSV, when true, also emits CSV renditions after each table.
+	CSV bool
+
+	cachedTruths []synth.Truth
+	cachedDBs    map[int]cachedDB
+}
+
+// Default returns the standard scaled-down configuration (≈30–60 s of wall
+// time for the full suite).
+func Default(out io.Writer) *Config {
+	opt := core.DefaultOptions()
+	opt.Tau = 20
+	return &Config{
+		Out:            out,
+		Cost:           cluster.GigabitCluster(),
+		Opt:            opt,
+		QueryCount:     128,
+		QueryDBSize:    1500,
+		DBSizes:        []int{1000, 2000, 4000, 8000, 16000},
+		Procs:          []int{1, 2, 4, 8, 16, 32, 64, 128},
+		Table4Size:     4000,
+		Table4Procs:    []int{1, 2, 4, 8, 16, 32, 64},
+		SubGroupSize:   4000,
+		SubGroupGroups: []int{1, 2, 4},
+	}
+}
+
+// Quick returns a miniature configuration for fast smoke runs and unit
+// benchmarks.
+func Quick(out io.Writer) *Config {
+	c := Default(out)
+	c.QueryCount = 24
+	c.QueryDBSize = 400
+	c.DBSizes = []int{500, 1000, 2000}
+	c.Procs = []int{1, 2, 4, 8}
+	c.Table4Size = 1000
+	c.Table4Procs = []int{1, 2, 4, 8}
+	c.SubGroupSize = 1000
+	c.SubGroupGroups = []int{1, 2}
+	return c
+}
+
+// Workload is a prepared (database, queries) pair.
+type Workload struct {
+	DB      []fasta.Record
+	Data    []byte
+	Queries []*spectrum.Spectrum
+	Truths  []synth.Truth
+}
+
+// queries builds (once) the fixed query set shared by all experiments.
+func (c *Config) queries() ([]synth.Truth, error) {
+	if c.cachedTruths != nil {
+		return c.cachedTruths, nil
+	}
+	spec := synth.HumanSpec(1)
+	spec.NumSequences = c.QueryDBSize
+	qdb := synth.GenerateDB(spec)
+	truths, err := synth.GenerateSpectra(qdb, synth.DefaultSpectraSpec(c.QueryCount))
+	if err != nil {
+		return nil, err
+	}
+	c.cachedTruths = truths
+	return truths, nil
+}
+
+// WorkloadFor assembles the search input for one database size: a
+// microbial-style subset of that size searched with the fixed query set.
+func (c *Config) WorkloadFor(dbSize int) (*Workload, error) {
+	truths, err := c.queries()
+	if err != nil {
+		return nil, err
+	}
+	db, data := c.database(dbSize)
+	return &Workload{DB: db, Data: data, Queries: synth.Spectra(truths), Truths: truths}, nil
+}
+
+func (c *Config) database(dbSize int) ([]fasta.Record, []byte) {
+	if cached, ok := c.cachedDBs[dbSize]; ok {
+		return cached.recs, cached.data
+	}
+	db := synth.GenerateDB(synth.SizedSpec(dbSize))
+	data := fasta.Marshal(db)
+	if c.cachedDBs == nil {
+		c.cachedDBs = map[int]cachedDB{}
+	}
+	c.cachedDBs[dbSize] = cachedDB{recs: db, data: data}
+	return db, data
+}
+
+type cachedDB struct {
+	recs []fasta.Record
+	data []byte
+}
+
+// run executes one engine configuration.
+func (c *Config) run(algo core.Algorithm, p int, w *Workload, opt core.Options) (*core.Result, error) {
+	cfg := cluster.Config{Ranks: p, Cost: c.Cost}
+	return core.Run(algo, cfg, core.Input{DBData: w.Data, Queries: w.Queries}, opt)
+}
+
+func (c *Config) printf(format string, args ...interface{}) {
+	fmt.Fprintf(c.Out, format, args...)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pepscale/internal/core"
+	"pepscale/internal/fasta"
+	"pepscale/internal/report"
+	"pepscale/internal/synth"
+)
+
+// Quality quantifies the paper's §I.A quality argument: the fast model
+// behind an aggressive prefilter ("could miss true predictions") versus
+// the full statistical models, on noisy ground-truth spectra at two
+// database complexities. Reported: rank-1 identification accuracy, top-τ
+// recall, and the total virtual CPU each pipeline paid.
+func (c *Config) Quality() (*report.Table, error) {
+	// Noisy spectra drawn from a small prefix database; the larger
+	// database is a superset (prefix-stable generator), adding decoys.
+	smallDB, _ := c.database(300)
+	largeDB, largeData := c.database(6000)
+	_ = largeDB
+	smallData := fasta.Marshal(smallDB)
+
+	spec := synth.DefaultSpectraSpec(64)
+	spec.PeakEfficiency = 0.38
+	spec.NoisePeaks = 45
+	truths, err := synth.GenerateSpectra(smallDB, spec)
+	if err != nil {
+		return nil, err
+	}
+	queries := synth.Spectra(truths)
+
+	type pipeline struct {
+		label     string
+		scorer    string
+		prefilter float64
+	}
+	pipelines := []pipeline{
+		{"likelihood (accurate)", "likelihood", 0},
+		{"hyper (fast)", "hyper", 0},
+		{"xcorr", "xcorr", 0},
+		{"hyper + aggressive prefilter", "hyper", 0.28},
+	}
+	t := report.NewTable("Quality — identification accuracy vs model cost (noisy spectra)",
+		"Pipeline", "DB size", "Rank-1", "Top-5", "Virtual CPU (s)")
+	for _, pl := range pipelines {
+		for _, db := range []struct {
+			n    int
+			data []byte
+		}{{300, smallData}, {6000, largeData}} {
+			opt := c.Opt
+			opt.Tau = 5
+			opt.ScorerName = pl.scorer
+			opt.Prefilter = pl.prefilter
+			res, err := c.run(core.AlgoA, 8, &Workload{Data: db.data, Queries: queries}, opt)
+			if err != nil {
+				return nil, err
+			}
+			rank1, top5 := 0, 0
+			for i, q := range res.Queries {
+				for j, h := range q.Hits {
+					if h.Peptide == truths[i].Peptide {
+						if j == 0 {
+							rank1++
+						}
+						top5++
+						break
+					}
+				}
+			}
+			var cpu float64
+			for _, rm := range res.Metrics.PerRank {
+				cpu += rm.ComputeSec
+			}
+			t.Add(pl.label,
+				fmt.Sprintf("%d", db.n),
+				fmt.Sprintf("%d/%d", rank1, len(truths)),
+				fmt.Sprintf("%d/%d", top5, len(truths)),
+				fmt.Sprintf("%.1f", cpu))
+		}
+	}
+	c.printTable(t)
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pepscale/internal/core"
+	"pepscale/internal/report"
+	"pepscale/internal/synth"
+)
+
+// Table1 reproduces the paper's Table I: input database statistics. The
+// synthetic presets are generated at 1% of the paper's sequence counts
+// (the generator is prefix-stable, so larger scales extend these exactly),
+// and the paper's published full-scale numbers are shown alongside.
+func (c *Config) Table1() (*report.Table, error) {
+	const scale = 0.01
+	human := synth.Stats(synth.GenerateDB(synth.HumanSpec(scale)))
+	micro := synth.Stats(synth.GenerateDB(synth.MicrobialSpec(scale)))
+	t := report.NewTable(
+		"Table I — input database statistics (synthetic, 1% scale; paper full-scale values in parentheses)",
+		"", "Human", "Microbial")
+	t.Add("#Protein sequences",
+		fmt.Sprintf("%s (88,333)", report.Count(int64(human.NumSequences))),
+		fmt.Sprintf("%s (2,655,064)", report.Count(int64(micro.NumSequences))))
+	t.Add("Total seq. length (residues)",
+		fmt.Sprintf("%s (26,647,093)", report.Count(int64(human.TotalResidues))),
+		fmt.Sprintf("%s (834,866,454)", report.Count(int64(micro.TotalResidues))))
+	t.Add("Avg. seq. length (residues)",
+		fmt.Sprintf("%.2f (301.66)", human.AvgLength),
+		fmt.Sprintf("%.2f (314.44)", micro.AvgLength))
+	c.printTable(t)
+	return t, nil
+}
+
+// Grid holds the Table II measurements: virtual run-time (seconds) indexed
+// by database size then processor count.
+type Grid map[int]map[int]float64
+
+// Table2 reproduces Table II: Algorithm A run-time for every database and
+// processor size. The returned grid feeds Figure 4.
+func (c *Config) Table2() (Grid, *report.Table, error) {
+	grid := make(Grid, len(c.DBSizes))
+	headers := []string{"DB size (n)"}
+	for _, p := range c.Procs {
+		headers = append(headers, fmt.Sprintf("p=%d", p))
+	}
+	t := report.NewTable("Table II — Algorithm A run-time (virtual seconds)", headers...)
+	for _, n := range c.DBSizes {
+		w, err := c.WorkloadFor(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := []string{report.SizeLabel(n)}
+		grid[n] = make(map[int]float64, len(c.Procs))
+		for _, p := range c.Procs {
+			res, err := c.run(core.AlgoA, p, w, c.Opt)
+			if err != nil {
+				return nil, nil, fmt.Errorf("table2 n=%d p=%d: %w", n, p, err)
+			}
+			grid[n][p] = res.Metrics.RunSec
+			row = append(row, report.Seconds(res.Metrics.RunSec))
+		}
+		t.Add(row...)
+	}
+	c.printTable(t)
+	return grid, t, nil
+}
+
+// Table3 reproduces Table III: candidates evaluated per second as a
+// function of processor count, on the largest configured database.
+func (c *Config) Table3() (*report.Table, error) {
+	n := c.DBSizes[len(c.DBSizes)-1]
+	w, err := c.WorkloadFor(n)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Table III — candidates evaluated per second (%s-sequence database)", report.SizeLabel(n)),
+		"p", "Candidates/sec", "Total candidates", "Run-time (s)")
+	for _, p := range c.Procs {
+		if p < 8 && len(c.Procs) > 4 {
+			continue // the paper reports p = 8…128
+		}
+		res, err := c.run(core.AlgoA, p, w, c.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("table3 p=%d: %w", p, err)
+		}
+		t.Add(fmt.Sprintf("%d", p),
+			report.Count(int64(res.Metrics.CandidatesPerSec())),
+			report.Count(res.Metrics.Candidates),
+			report.Seconds(res.Metrics.RunSec))
+	}
+	c.printTable(t)
+	return t, nil
+}
+
+// Table4 reproduces Table IV: Algorithms A and B compared (run-time,
+// speedup, and B's sorting time) on one mid-sized database.
+func (c *Config) Table4() (*report.Table, error) {
+	w, err := c.WorkloadFor(c.Table4Size)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Table IV — Algorithm A vs B (%s-sequence database)", report.SizeLabel(c.Table4Size)),
+		"p", "A run-time (s)", "A speedup", "B run-time (s)", "B speedup", "B sort time (s)")
+	var aBase, bBase float64
+	for _, p := range c.Table4Procs {
+		ra, err := c.run(core.AlgoA, p, w, c.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("table4 A p=%d: %w", p, err)
+		}
+		rb, err := c.run(core.AlgoB, p, w, c.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("table4 B p=%d: %w", p, err)
+		}
+		if p == c.Table4Procs[0] {
+			aBase, bBase = ra.Metrics.RunSec, rb.Metrics.RunSec
+		}
+		t.Add(fmt.Sprintf("%d", p),
+			report.Seconds(ra.Metrics.RunSec),
+			fmt.Sprintf("%.2f", aBase/ra.Metrics.RunSec),
+			report.Seconds(rb.Metrics.RunSec),
+			fmt.Sprintf("%.2f", bBase/rb.Metrics.RunSec),
+			report.Seconds(rb.Metrics.SortSec))
+	}
+	c.printTable(t)
+	return t, nil
+}
+
+func (c *Config) printTable(t *report.Table) {
+	c.printf("%s\n", t)
+	if c.CSV {
+		c.printf("CSV:\n%s\n", t.CSV())
+	}
+}

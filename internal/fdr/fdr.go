@@ -1,0 +1,173 @@
+// Package fdr implements target–decoy false-discovery-rate estimation for
+// search results: decoy database construction (reversed sequences, the
+// community-standard construction), decoy-aware result partitioning, and
+// q-value assignment by the Elias–Gygi target–decoy competition estimate.
+//
+// The paper reports likelihood-ratio scores against a user-specified
+// cutoff; FDR estimation is the modern way downstream users pick that
+// cutoff, so the library ships it as a post-processing layer that works
+// with every engine.
+package fdr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pepscale/internal/core"
+	"pepscale/internal/fasta"
+)
+
+// DecoyPrefix marks decoy protein identifiers.
+const DecoyPrefix = "DECOY_"
+
+// DecoyDatabase returns the records of db followed by their reversed-
+// sequence decoys (protein-level reversal, which preserves composition,
+// length, and approximate cleavage-site density). Record IDs gain
+// DecoyPrefix.
+func DecoyDatabase(db []fasta.Record) []fasta.Record {
+	out := make([]fasta.Record, 0, 2*len(db))
+	out = append(out, db...)
+	for _, rec := range db {
+		rev := make([]byte, len(rec.Seq))
+		for i, b := range rec.Seq {
+			rev[len(rec.Seq)-1-i] = b
+		}
+		out = append(out, fasta.Record{ID: DecoyPrefix + rec.ID, Desc: rec.Desc, Seq: rev})
+	}
+	return out
+}
+
+// IsDecoy reports whether a hit's protein identifier marks a decoy.
+func IsDecoy(proteinID string) bool { return strings.HasPrefix(proteinID, DecoyPrefix) }
+
+// PSM is one peptide-spectrum match entering FDR estimation: the best hit
+// of one query.
+type PSM struct {
+	// Query is the spectrum identifier.
+	Query string
+	// Peptide is the matched peptide.
+	Peptide string
+	// ProteinID is the source protein (possibly a decoy).
+	ProteinID string
+	// Score is the search-engine score.
+	Score float64
+	// Decoy marks a decoy match.
+	Decoy bool
+	// QValue is the minimum FDR at which this PSM is accepted (filled by
+	// Estimate).
+	QValue float64
+}
+
+// TopPSMs extracts the rank-1 hit of every query as a PSM.
+func TopPSMs(results []core.QueryResult) []PSM {
+	out := make([]PSM, 0, len(results))
+	for _, q := range results {
+		if len(q.Hits) == 0 {
+			continue
+		}
+		h := q.Hits[0]
+		out = append(out, PSM{
+			Query:     q.ID,
+			Peptide:   h.Peptide,
+			ProteinID: h.ProteinID,
+			Score:     h.Score,
+			Decoy:     IsDecoy(h.ProteinID),
+		})
+	}
+	return out
+}
+
+// Estimate sorts the PSMs by descending score and assigns each a q-value
+// with the target–decoy competition estimator: at a score threshold
+// admitting t targets and d decoys, FDR ≈ d/t; q-values are the running
+// minimum FDR from the bottom of the list. The input slice is re-ordered
+// and annotated in place and returned for convenience.
+func Estimate(psms []PSM) []PSM {
+	sort.Slice(psms, func(i, j int) bool {
+		if psms[i].Score != psms[j].Score {
+			return psms[i].Score > psms[j].Score
+		}
+		// Deterministic tie-break: decoys first (conservative), then query.
+		if psms[i].Decoy != psms[j].Decoy {
+			return psms[i].Decoy
+		}
+		return psms[i].Query < psms[j].Query
+	})
+	targets, decoys := 0, 0
+	fdrs := make([]float64, len(psms))
+	for i := range psms {
+		if psms[i].Decoy {
+			decoys++
+		} else {
+			targets++
+		}
+		if targets == 0 {
+			fdrs[i] = 1
+		} else {
+			f := float64(decoys) / float64(targets)
+			if f > 1 {
+				f = 1
+			}
+			fdrs[i] = f
+		}
+	}
+	// q-value: running minimum from the tail.
+	min := 1.0
+	for i := len(psms) - 1; i >= 0; i-- {
+		if fdrs[i] < min {
+			min = fdrs[i]
+		}
+		psms[i].QValue = min
+	}
+	return psms
+}
+
+// AcceptedAt returns the target PSMs with q-value ≤ alpha (decoys are
+// never reported as identifications).
+func AcceptedAt(psms []PSM, alpha float64) []PSM {
+	var out []PSM
+	for _, p := range psms {
+		if !p.Decoy && p.QValue <= alpha {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Summary tabulates the estimate.
+type Summary struct {
+	Targets, Decoys int
+	// AcceptedAt01 / AcceptedAt05 count target PSMs under 1% / 5% FDR.
+	AcceptedAt01, AcceptedAt05 int
+	// ScoreAt01 is the score threshold achieving 1% FDR (0 if none).
+	ScoreAt01 float64
+}
+
+// Summarize computes headline numbers from estimated PSMs.
+func Summarize(psms []PSM) Summary {
+	var s Summary
+	for _, p := range psms {
+		if p.Decoy {
+			s.Decoys++
+			continue
+		}
+		s.Targets++
+		if p.QValue <= 0.01 {
+			s.AcceptedAt01++
+			if s.ScoreAt01 == 0 || p.Score < s.ScoreAt01 {
+				s.ScoreAt01 = p.Score
+			}
+		}
+		if p.QValue <= 0.05 {
+			s.AcceptedAt05++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("targets=%d decoys=%d accepted@1%%=%d accepted@5%%=%d score@1%%=%.3f",
+		s.Targets, s.Decoys, s.AcceptedAt01, s.AcceptedAt05, s.ScoreAt01)
+}

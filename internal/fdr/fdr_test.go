@@ -1,0 +1,181 @@
+package fdr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pepscale/internal/cluster"
+	"pepscale/internal/core"
+	"pepscale/internal/fasta"
+	"pepscale/internal/synth"
+	"pepscale/internal/topk"
+)
+
+func TestDecoyDatabase(t *testing.T) {
+	db := []fasta.Record{
+		{ID: "P1", Seq: []byte("MKVLR")},
+		{ID: "P2", Desc: "d", Seq: []byte("AAK")},
+	}
+	out := DecoyDatabase(db)
+	if len(out) != 4 {
+		t.Fatalf("got %d records", len(out))
+	}
+	if out[2].ID != "DECOY_P1" || string(out[2].Seq) != "RLVKM" {
+		t.Errorf("decoy 1: %+v", out[2])
+	}
+	if out[3].Desc != "d" || string(out[3].Seq) != "KAA" {
+		t.Errorf("decoy 2: %+v", out[3])
+	}
+	if !IsDecoy(out[2].ID) || IsDecoy(out[0].ID) {
+		t.Error("IsDecoy misclassifies")
+	}
+}
+
+func TestDecoyPreservesComposition(t *testing.T) {
+	f := func(seed uint64) bool {
+		db := synth.GenerateDB(func() synth.DBSpec {
+			s := synth.SizedSpec(3)
+			s.Seed = seed | 1
+			return s
+		}())
+		out := DecoyDatabase(db)
+		for i, rec := range db {
+			decoy := out[len(db)+i]
+			if len(decoy.Seq) != len(rec.Seq) {
+				return false
+			}
+			var a, b [256]int
+			for _, c := range rec.Seq {
+				a[c]++
+			}
+			for _, c := range decoy.Seq {
+				b[c]++
+			}
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkPSMs(scores []float64, decoyMask []bool) []PSM {
+	out := make([]PSM, len(scores))
+	for i := range scores {
+		id := fmt.Sprintf("P%03d", i)
+		if decoyMask[i] {
+			id = DecoyPrefix + id
+		}
+		out[i] = PSM{Query: fmt.Sprintf("q%03d", i), Peptide: "PEP", ProteinID: id, Score: scores[i], Decoy: decoyMask[i]}
+	}
+	return out
+}
+
+func TestEstimateKnownCase(t *testing.T) {
+	// Scores descending: T T T D T D → FDR at each prefix:
+	// 0/1, 0/2, 0/3, 1/3, 1/4, 2/4.
+	scores := []float64{10, 9, 8, 7, 6, 5}
+	decoys := []bool{false, false, false, true, false, true}
+	psms := Estimate(mkPSMs(scores, decoys))
+	wantQ := []float64{0, 0, 0, 1.0 / 4, 1.0 / 4, 2.0 / 4}
+	for i, p := range psms {
+		if math.Abs(p.QValue-wantQ[i]) > 1e-12 {
+			t.Errorf("psm %d (score %v): q=%v, want %v", i, p.Score, p.QValue, wantQ[i])
+		}
+	}
+	acc := AcceptedAt(psms, 0.01)
+	if len(acc) != 3 {
+		t.Errorf("accepted at 1%%: %d", len(acc))
+	}
+	sum := Summarize(psms)
+	if sum.Targets != 4 || sum.Decoys != 2 || sum.AcceptedAt01 != 3 {
+		t.Errorf("summary: %+v", sum)
+	}
+}
+
+func TestQValuesMonotone(t *testing.T) {
+	f := func(raw []uint16, mask []bool) bool {
+		n := len(raw)
+		if len(mask) < n {
+			n = len(mask)
+		}
+		if n == 0 {
+			return true
+		}
+		scores := make([]float64, n)
+		for i := 0; i < n; i++ {
+			scores[i] = float64(raw[i])
+		}
+		psms := Estimate(mkPSMs(scores, mask[:n]))
+		for i := 1; i < len(psms); i++ {
+			if psms[i].QValue < psms[i-1].QValue-1e-12 {
+				return false // q-values must be non-decreasing down the list
+			}
+			if psms[i].Score > psms[i-1].Score {
+				return false // sorted by descending score
+			}
+		}
+		for _, p := range psms {
+			if p.QValue < 0 || p.QValue > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopPSMs(t *testing.T) {
+	results := []core.QueryResult{
+		{ID: "q1", Hits: []topk.Hit{{Peptide: "AAK", ProteinID: "P1", Score: 9}, {Peptide: "GGK", ProteinID: "P2", Score: 5}}},
+		{ID: "q2"}, // no hits
+		{ID: "q3", Hits: []topk.Hit{{Peptide: "MMK", ProteinID: DecoyPrefix + "P9", Score: 3}}},
+	}
+	psms := TopPSMs(results)
+	if len(psms) != 2 {
+		t.Fatalf("got %d PSMs", len(psms))
+	}
+	if psms[0].Peptide != "AAK" || psms[0].Decoy {
+		t.Errorf("psm 0: %+v", psms[0])
+	}
+	if !psms[1].Decoy {
+		t.Errorf("psm 1 should be decoy: %+v", psms[1])
+	}
+}
+
+// TestEndToEndFDR: a full search against a target+decoy database; true
+// spectra should overwhelmingly match targets, and the 1% FDR cut should
+// keep most of them.
+func TestEndToEndFDR(t *testing.T) {
+	db := synth.GenerateDB(synth.SizedSpec(60))
+	truths, err := synth.GenerateSpectra(db, synth.DefaultSpectraSpec(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDecoys := DecoyDatabase(db)
+	opt := core.DefaultOptions()
+	opt.Tau = 3
+	res, err := core.Run(core.AlgoA, cluster.Config{Ranks: 4, Cost: cluster.GigabitCluster()},
+		core.Input{DBData: fasta.Marshal(withDecoys), Queries: synth.Spectra(truths)}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psms := Estimate(TopPSMs(res.Queries))
+	sum := Summarize(psms)
+	if sum.Targets+sum.Decoys != len(psms) {
+		t.Error("summary counts inconsistent")
+	}
+	if sum.Decoys > sum.Targets/2 {
+		t.Errorf("too many decoy top hits for genuine spectra: %+v", sum)
+	}
+	if sum.AcceptedAt05 < len(truths)*2/3 {
+		t.Errorf("accepted@5%% too low: %+v (of %d spectra)", sum, len(truths))
+	}
+}

@@ -1,0 +1,177 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders one or more (x, y) series as an ASCII line chart — the
+// terminal rendition of the paper's figures. X values are shared across
+// series (missing points allowed via NaN). Y may be linear or log₂-scaled
+// (log₂ suits speedup curves, where ideal scaling is a straight line).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area size in characters (defaults
+	// 60×16).
+	Width, Height int
+	// LogY plots log₂(y).
+	LogY bool
+
+	xs     []float64
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	ys     []float64
+	marker byte
+}
+
+// markers cycles through per-series point markers.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// NewChart creates a chart over the shared x coordinates.
+func NewChart(title string, xs []float64) *Chart {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	return &Chart{Title: title, Width: 60, Height: 16, xs: cp}
+}
+
+// AddSeries appends a named series; ys must align with the chart's xs
+// (use math.NaN for missing points).
+func (c *Chart) AddSeries(name string, ys []float64) {
+	cp := make([]float64, len(ys))
+	copy(cp, ys)
+	c.series = append(c.series, chartSeries{
+		name:   name,
+		ys:     cp,
+		marker: markers[len(c.series)%len(markers)],
+	})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w < 16 {
+		w = 60
+	}
+	if h < 4 {
+		h = 16
+	}
+	tx := func(y float64) float64 {
+		if c.LogY {
+			return math.Log2(y)
+		}
+		return y
+	}
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, x := range c.xs {
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, y := range s.ys {
+			if math.IsNaN(y) || (c.LogY && y <= 0) {
+				continue
+			}
+			ymin = math.Min(ymin, tx(y))
+			ymax = math.Max(ymax, tx(y))
+		}
+	}
+	if math.IsInf(xmin, 1) || math.IsInf(ymin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		row := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = m
+		}
+	}
+	for _, s := range c.series {
+		// Sort points by x for segment drawing.
+		type pt struct{ x, y float64 }
+		var pts []pt
+		for i, y := range s.ys {
+			if i < len(c.xs) && !math.IsNaN(y) && (!c.LogY || y > 0) {
+				pts = append(pts, pt{c.xs[i], tx(y)})
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		// Interpolated segments with '.', markers on points.
+		for i := 1; i < len(pts); i++ {
+			const steps = 24
+			for k := 1; k < steps; k++ {
+				f := float64(k) / steps
+				plot(pts[i-1].x+f*(pts[i].x-pts[i-1].x), pts[i-1].y+f*(pts[i].y-pts[i-1].y), '.')
+			}
+		}
+		for _, p := range pts {
+			plot(p.x, p.y, s.marker)
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	untx := func(v float64) float64 {
+		if c.LogY {
+			return math.Pow(2, v)
+		}
+		return v
+	}
+	for i, row := range grid {
+		var label string
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.4g", untx(ymax))
+		case h - 1:
+			label = fmt.Sprintf("%8.4g", untx(ymin))
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 8) + " +" + strings.Repeat("-", w) + "\n")
+	sb.WriteString(fmt.Sprintf("%8s  %-10.4g%s%10.4g\n", "", xmin, strings.Repeat(" ", maxInt(1, w-20)), xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		sb.WriteString(fmt.Sprintf("%10s x: %s   y: %s\n", "", c.XLabel, c.YLabel))
+	}
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.name))
+	}
+	if len(legend) > 0 {
+		sb.WriteString("          " + strings.Join(legend, "   ") + "\n")
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	c := NewChart("Speedup", []float64{1, 2, 3, 4})
+	c.AddSeries("ideal", []float64{1, 2, 4, 8})
+	c.AddSeries("measured", []float64{1, 1.9, 3.4, 5.7})
+	out := c.String()
+	if !strings.Contains(out, "Speedup") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* ideal") || !strings.Contains(out, "o measured") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// Both markers must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plotted points")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := NewChart("log", []float64{0, 1, 2, 3})
+	c.LogY = true
+	c.AddSeries("pow2", []float64{1, 2, 4, 8})
+	out := c.String()
+	// In log space the 2^x series is a straight diagonal: the marker
+	// columns should be evenly spread over rows.
+	rows := map[int]bool{}
+	for i, line := range strings.Split(out, "\n") {
+		if strings.ContainsRune(line, '*') {
+			rows[i] = true
+		}
+	}
+	if len(rows) < 3 {
+		t.Errorf("expected markers on several rows, got %d", len(rows))
+	}
+}
+
+func TestChartNaNAndEmpty(t *testing.T) {
+	c := NewChart("gaps", []float64{1, 2, 3})
+	c.AddSeries("holes", []float64{1, math.NaN(), 3})
+	if out := c.String(); !strings.Contains(out, "holes") {
+		t.Error("series with NaN dropped entirely")
+	}
+	empty := NewChart("none", nil)
+	if out := empty.String(); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart: %q", out)
+	}
+	allNaN := NewChart("nan", []float64{1})
+	allNaN.AddSeries("x", []float64{math.NaN()})
+	if out := allNaN.String(); !strings.Contains(out, "(no data)") {
+		t.Errorf("all-NaN chart: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := NewChart("flat", []float64{1, 2})
+	c.AddSeries("const", []float64{5, 5})
+	if out := c.String(); out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("flat chart broken: %q", out)
+	}
+}

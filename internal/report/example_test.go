@@ -1,0 +1,39 @@
+package report_test
+
+import (
+	"fmt"
+
+	"pepscale/internal/report"
+)
+
+func ExampleTable() {
+	t := report.NewTable("Run-times", "p", "seconds")
+	t.Add("1", "100.0")
+	t.Add("16", "7.25")
+	fmt.Print(t)
+	// Output:
+	// Run-times
+	// p   seconds
+	// --  -------
+	// 1   100.0
+	// 16  7.25
+}
+
+func ExampleSpeedup() {
+	times := map[int]float64{1: 100, 2: 52, 4: 28}
+	sp := report.Speedup(times, 1, 1)
+	eff := report.Efficiency(sp)
+	for _, p := range report.SortedKeys(sp) {
+		fmt.Printf("p=%d speedup=%.2f efficiency=%.0f%%\n", p, sp[p], eff[p]*100)
+	}
+	// Output:
+	// p=1 speedup=1.00 efficiency=100%
+	// p=2 speedup=1.92 efficiency=96%
+	// p=4 speedup=3.57 efficiency=89%
+}
+
+func ExampleCount() {
+	fmt.Println(report.Count(2655064))
+	// Output:
+	// 2,655,064
+}

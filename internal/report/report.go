@@ -1,0 +1,217 @@
+// Package report renders the paper-style result tables and computes the
+// derived quantities (speedup, parallel efficiency, mean±stddev) used
+// throughout the experiment harness.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned text table with optional CSV rendering.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; missing cells render empty.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			var c string
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == cols-1 {
+				sb.WriteString(c) // no trailing padding
+			} else {
+				fmt.Fprintf(&sb, "%-*s", width[i], c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var rule []string
+	for i := 0; i < cols; i++ {
+		rule = append(rule, strings.Repeat("-", width[i]))
+	}
+	writeRow(rule)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// MeanStd returns the sample mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Speedup computes S(p) = T(base) / T(p) for each measured processor count.
+// When times lacks an entry for base (runs not performed, as with the
+// paper's largest inputs), speedups are computed relative to the smallest
+// measured p and scaled by refSpeedup — mirroring the paper's Figure 4
+// procedure ("speedups for all input sizes ≥ 400K were calculated relative
+// to their corresponding 8 processor run-times, and multiplied by the
+// average speedup obtained at p = 8 for smaller input").
+func Speedup(times map[int]float64, base int, refSpeedup float64) map[int]float64 {
+	out := make(map[int]float64, len(times))
+	if tBase, ok := times[base]; ok {
+		for p, t := range times {
+			if t > 0 {
+				out[p] = tBase / t
+			}
+		}
+		return out
+	}
+	ps := SortedKeys(times)
+	if len(ps) == 0 {
+		return out
+	}
+	ref := times[ps[0]]
+	for p, t := range times {
+		if t > 0 {
+			out[p] = ref / t * refSpeedup
+		}
+	}
+	return out
+}
+
+// Efficiency converts speedups into parallel efficiency S(p)/p.
+func Efficiency(speedups map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(speedups))
+	for p, s := range speedups {
+		if p > 0 {
+			out[p] = s / float64(p)
+		}
+	}
+	return out
+}
+
+// SortedKeys returns the map's keys in ascending order.
+func SortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Seconds formats a duration in seconds with adaptive precision, matching
+// the paper's tables.
+func Seconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// Count formats large counts with thousands separators.
+func Count(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}
+
+// SizeLabel renders a database size the way the paper labels it (1K, 16K,
+// 1M, 2.6M, …).
+func SizeLabel(n int) string {
+	switch {
+	case n >= 1000000 && n%1000000 == 0:
+		return fmt.Sprintf("%dM", n/1000000)
+	case n >= 1000000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%dK", n/1000)
+	case n >= 1000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

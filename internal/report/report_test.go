@@ -1,0 +1,141 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title Line", "col1", "column-two")
+	tb.Add("a", "b")
+	tb.Add("longer-cell", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title Line" {
+		t.Errorf("title: %q", lines[0])
+	}
+	if len(lines) != 5 { // title + header + rule + 2 rows
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// Columns aligned: all data rows have the same prefix width before col2.
+	idx1 := strings.Index(lines[1], "column-two")
+	idx4 := strings.Index(lines[4], "x")
+	if idx1 != idx4 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx1, idx4, out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("1", "2", "3") // more cells than headers
+	tb.Add()              // empty row
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cells dropped: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.Add(`has "quotes"`, "a,b")
+	tb.Add("plain", "1")
+	csv := tb.CSV()
+	want := "name,value\n\"has \"\"quotes\"\"\",\"a,b\"\nplain,1\n"
+	if csv != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", csv, want)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Errorf("MeanStd = %v, %v", mean, std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Error("empty MeanStd should be zero")
+	}
+}
+
+func TestSpeedupWithBase(t *testing.T) {
+	times := map[int]float64{1: 100, 2: 52, 4: 28}
+	sp := Speedup(times, 1, 1)
+	if sp[1] != 1 || math.Abs(sp[2]-100.0/52) > 1e-12 || math.Abs(sp[4]-100.0/28) > 1e-12 {
+		t.Errorf("Speedup = %v", sp)
+	}
+	eff := Efficiency(sp)
+	if math.Abs(eff[4]-sp[4]/4) > 1e-12 {
+		t.Errorf("Efficiency = %v", eff)
+	}
+}
+
+func TestSpeedupWithoutBase(t *testing.T) {
+	// The paper's Figure 4 procedure: no p=1 run; relative to smallest p,
+	// scaled by the reference speedup (4.51 at p=8 in the paper).
+	times := map[int]float64{8: 100, 16: 50}
+	sp := Speedup(times, 1, 4.51)
+	if math.Abs(sp[8]-4.51) > 1e-12 {
+		t.Errorf("base speedup = %v", sp[8])
+	}
+	if math.Abs(sp[16]-9.02) > 1e-12 {
+		t.Errorf("scaled speedup = %v", sp[16])
+	}
+}
+
+func TestSpeedupEmpty(t *testing.T) {
+	if got := Speedup(nil, 1, 1); len(got) != 0 {
+		t.Errorf("empty speedup = %v", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[int]float64{8: 1, 1: 2, 4: 3})
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 8 {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := map[float64]string{
+		1234.5: "1234.5",
+		12.345: "12.35",
+		0.1234: "0.1234",
+	}
+	for in, want := range cases {
+		if got := Seconds(in); got != want {
+			t.Errorf("Seconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		2655064:    "2,655,064",
+		1000000000: "1,000,000,000",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{
+		500:     "500",
+		1000:    "1K",
+		16000:   "16K",
+		2650000: "2.6M",
+		1000000: "1M",
+		2500:    "2.5K",
+	}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+// Package score implements the statistical models that decide how well a
+// candidate peptide explains an experimental spectrum.
+//
+// Three models are provided, mirroring the model families compared by
+// Cannon et al. (J. Proteome Research 2005), the study MSPolygraph was
+// built from:
+//
+//   - Likelihood: the MSPolygraph-style log-likelihood-ratio score. A model
+//     spectrum is generated for the candidate and a second spectrum for a
+//     random (deterministically shuffled) peptide of the same composition;
+//     both are compared against the experimental spectrum under a Poisson
+//     peak-occurrence model and the score is the difference. This is the
+//     "highly accurate statistical model" whose cost motivates the paper.
+//   - Hyper: an X!Tandem-style hyperscore (matched-intensity dot product
+//     scaled by b/y match-count factorials) — the "fairly simple, fast
+//     statistical model" of the X!!Tandem comparison.
+//   - SharedPeaks: a hypergeometric shared-peak-count model.
+//
+// All scorers are deterministic: identical inputs yield bit-identical
+// scores on every rank of the distributed engines.
+package score
+
+import (
+	"fmt"
+	"math"
+
+	"pepscale/internal/chem"
+	"pepscale/internal/spectrum"
+)
+
+// Config carries the shared scoring configuration.
+type Config struct {
+	// BinWidth is the fragment m/z bin width (default spectrum.DefaultBinWidth).
+	BinWidth float64
+	// Theoretical controls on-the-fly model spectrum generation.
+	Theoretical spectrum.TheoreticalOptions
+	// Library, when non-nil, supplies curated model spectra for candidates
+	// present in it; absent candidates fall back to on-the-fly generation.
+	Library *spectrum.Library
+	// Preprocess conditions experimental spectra before binning.
+	Preprocess spectrum.PreprocessOptions
+}
+
+// DefaultConfig returns the engine defaults.
+func DefaultConfig() Config {
+	return Config{
+		BinWidth:    spectrum.DefaultBinWidth,
+		Theoretical: spectrum.DefaultTheoretical,
+		Preprocess:  spectrum.DefaultPreprocess,
+	}
+}
+
+func (c Config) binWidth() float64 {
+	if c.BinWidth <= 0 {
+		return spectrum.DefaultBinWidth
+	}
+	return c.BinWidth
+}
+
+// Query is a preprocessed, binned experimental spectrum ready for repeated
+// scoring. Queries are immutable after PrepareQuery and safe for concurrent
+// use.
+type Query struct {
+	// ID is the spectrum identifier.
+	ID string
+	// ParentMass is the neutral parent mass m(q).
+	ParentMass float64
+	// Charge is the precursor charge state.
+	Charge int
+	// Binned is the conditioned, normalized sparse binning.
+	Binned *spectrum.Binned
+	// occupancy is the background bin-occupancy probability.
+	occupancy float64
+	// numPeaks is the count of occupied bins.
+	numPeaks int
+	// xc is the lazily built XCorr background-corrected array.
+	xc xcorr
+}
+
+// PrepareQuery conditions and bins an experimental spectrum.
+func PrepareQuery(raw *spectrum.Spectrum, cfg Config) *Query {
+	pre := spectrum.Preprocess(raw, cfg.Preprocess)
+	b := spectrum.Bin(pre, cfg.binWidth())
+	b.Normalize()
+	occ := b.Occupancy()
+	if occ < 1e-4 {
+		occ = 1e-4
+	}
+	if occ > 0.5 {
+		occ = 0.5
+	}
+	return &Query{
+		ID:         raw.ID,
+		ParentMass: raw.ParentMass(),
+		Charge:     raw.Charge,
+		Binned:     b,
+		occupancy:  occ,
+		numPeaks:   len(b.Bins),
+	}
+}
+
+// Scorer scores candidate peptides against prepared queries.
+type Scorer interface {
+	// Name returns the model's registry name.
+	Name() string
+	// Score returns the model score for candidate pep (with optional
+	// per-residue modification deltas) against q; larger is better.
+	Score(q *Query, pep []byte, modDeltas []float64) float64
+	// Cost returns the relative per-candidate computational weight of the
+	// model (the paper's ρ, normalized so Hyper ≈ 1). The virtual cluster
+	// charges compute time proportional to it.
+	Cost() float64
+}
+
+// New constructs a scorer by registry name: "likelihood", "hyper", or
+// "sharedpeaks".
+func New(name string, cfg Config) (Scorer, error) {
+	switch name {
+	case "likelihood", "":
+		return &Likelihood{cfg: cfg}, nil
+	case "hyper":
+		return &Hyper{cfg: cfg}, nil
+	case "sharedpeaks":
+		return &SharedPeaks{cfg: cfg}, nil
+	case "xcorr":
+		return &XCorr{cfg: cfg}, nil
+	default:
+		return nil, fmt.Errorf("score: unknown model %q (want likelihood, hyper, sharedpeaks, or xcorr)", name)
+	}
+}
+
+// Names lists the registered scorer names.
+func Names() []string { return []string{"likelihood", "hyper", "sharedpeaks", "xcorr"} }
+
+// matchStats accumulates the per-candidate fragment matching shared by the
+// models: for every theoretical fragment, whether its bin holds an observed
+// peak and at what intensity.
+type matchStats struct {
+	dot       float64 // summed observed intensity over matched fragments
+	bMatched  int
+	yMatched  int
+	nFrag     int
+	distinct  int // distinct matched bins
+	predicted int // distinct predicted bins
+}
+
+func (c Config) fragments(q *Query, pep []byte, modDeltas []float64) []spectrum.Fragment {
+	if c.Library != nil {
+		if s, ok := c.Library.Lookup(string(pep)); ok && len(modDeltas) == 0 {
+			// Library spectra carry curated peaks; convert to fragments of
+			// unknown series so they participate in matching. Kind/Index are
+			// synthetic (alternating series keeps factorial terms meaningful).
+			frags := make([]spectrum.Fragment, len(s.Peaks))
+			for i, p := range s.Peaks {
+				kind := spectrum.BIon
+				if i%2 == 1 {
+					kind = spectrum.YIon
+				}
+				frags[i] = spectrum.Fragment{Kind: kind, Index: i/2 + 1, Charge: 1, MZ: p.MZ}
+			}
+			return frags
+		}
+	}
+	return spectrum.Fragments(pep, modDeltas, q.Charge, c.Theoretical)
+}
+
+func match(q *Query, frags []spectrum.Fragment, width float64) matchStats {
+	var st matchStats
+	seenPred := make(map[int32]struct{}, len(frags))
+	seenMatch := make(map[int32]struct{}, len(frags))
+	for _, f := range frags {
+		bin := spectrum.BinIndex(f.MZ, width)
+		if _, dup := seenPred[bin]; !dup {
+			seenPred[bin] = struct{}{}
+			st.predicted++
+		}
+		st.nFrag++
+		if inten, ok := q.Binned.Bins[bin]; ok {
+			st.dot += inten
+			if f.Kind == spectrum.BIon {
+				st.bMatched++
+			} else {
+				st.yMatched++
+			}
+			if _, dup := seenMatch[bin]; !dup {
+				seenMatch[bin] = struct{}{}
+				st.distinct++
+			}
+		}
+	}
+	return st
+}
+
+// logFactorial returns ln(n!) via the log-gamma function.
+func logFactorial(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+// shuffle performs a deterministic in-place Fisher–Yates shuffle of a copy
+// of pep (and modDeltas, kept aligned), seeded by the peptide content and a
+// stream salt, so the "random peptide" null model is reproducible across
+// ranks and runs.
+func shuffle(pep []byte, modDeltas []float64, salt uint64) ([]byte, []float64) {
+	out := make([]byte, len(pep))
+	copy(out, pep)
+	var deltas []float64
+	if modDeltas != nil {
+		deltas = make([]float64, len(modDeltas))
+		copy(deltas, modDeltas)
+	}
+	state := (fnv64(pep) ^ (salt * 0x9e3779b97f4a7c15)) | 1
+	for i := len(out) - 1; i > 0; i-- {
+		state = splitmix64(state)
+		j := int(state % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+		if deltas != nil {
+			deltas[i], deltas[j] = deltas[j], deltas[i]
+		}
+	}
+	return out, deltas
+}
+
+func fnv64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// QuickMatchFraction is the cheap prefilter test used to emulate
+// X!!Tandem-style aggressive prefiltering: the fraction of the candidate's
+// singly-charged b/y fragment bins that hold an observed peak. It costs a
+// small fraction of a full model evaluation.
+func QuickMatchFraction(q *Query, pep []byte, modDeltas []float64, cfg Config) float64 {
+	opt := cfg.Theoretical
+	opt.MaxFragmentCharge = 1
+	frags := spectrum.Fragments(pep, modDeltas, 1, opt)
+	if len(frags) == 0 {
+		return 0
+	}
+	width := cfg.binWidth()
+	matched := 0
+	for _, f := range frags {
+		if _, ok := q.Binned.Bins[spectrum.BinIndex(f.MZ, width)]; ok {
+			matched++
+		}
+	}
+	return float64(matched) / float64(len(frags))
+}
+
+// Likelihood is the MSPolygraph-style log-likelihood-ratio scorer.
+type Likelihood struct {
+	cfg Config
+}
+
+// Name implements Scorer.
+func (s *Likelihood) Name() string { return "likelihood" }
+
+// nullShuffles is the number of random-peptide spectra averaged into the
+// null model (more shuffles stabilize the likelihood ratio).
+const nullShuffles = 3
+
+// Cost implements Scorer. The likelihood model generates and evaluates a
+// model spectrum for the candidate plus nullShuffles random-peptide
+// spectra per candidate, a multiple of the simple models' work, plus the
+// Poisson terms.
+func (s *Likelihood) Cost() float64 { return 2.5 }
+
+// Score implements Scorer.
+func (s *Likelihood) Score(q *Query, pep []byte, modDeltas []float64) float64 {
+	model := s.logLikelihood(q, pep, modDeltas)
+	var null float64
+	for k := uint64(0); k < nullShuffles; k++ {
+		nullPep, nullDeltas := shuffle(pep, modDeltas, k)
+		null += s.logLikelihood(q, nullPep, nullDeltas)
+	}
+	return model - null/nullShuffles
+}
+
+// logLikelihood evaluates ln P(spectrum | peptide) under the Poisson peak
+// model: each predicted fragment bin independently holds an observed peak
+// with probability p1 (weighted by the model intensity), while background
+// bins hold peaks with the spectrum's occupancy probability p0.
+func (s *Likelihood) logLikelihood(q *Query, pep []byte, modDeltas []float64) float64 {
+	frags := s.cfg.fragments(q, pep, modDeltas)
+	width := s.cfg.binWidth()
+	p0 := q.occupancy
+	var ll float64
+	for _, f := range frags {
+		bin := spectrum.BinIndex(f.MZ, width)
+		// Model confidence that this fragment appears, from the intensity
+		// model (mid-sequence singly charged y-ions are most reliable).
+		p1 := 0.30 + 0.55*fragConfidence(f, len(pep))
+		if inten, ok := q.Binned.Bins[bin]; ok {
+			// Observed: reward scaled by observed intensity rank.
+			ll += (0.5 + 0.5*inten) * math.Log(p1/p0)
+		} else {
+			ll += math.Log((1 - p1) / (1 - p0))
+		}
+	}
+	return ll
+}
+
+// fragConfidence mirrors the theoretical intensity model in [0,1].
+func fragConfidence(f spectrum.Fragment, pepLen int) float64 {
+	c := 0.6
+	if f.Kind == spectrum.YIon {
+		c = 1.0
+	}
+	pos := float64(f.Index) / float64(pepLen)
+	c *= 1 - 0.8*math.Abs(pos-0.5)
+	if f.Charge > 1 {
+		c *= 0.4
+	}
+	return c
+}
+
+// Hyper is the X!Tandem-style hyperscore model.
+type Hyper struct {
+	cfg Config
+}
+
+// Name implements Scorer.
+func (s *Hyper) Name() string { return "hyper" }
+
+// Cost implements Scorer.
+func (s *Hyper) Cost() float64 { return 1.0 }
+
+// Score implements Scorer: ln(dot · nB! · nY!) with the factorials capped
+// (as in X!Tandem) to keep scores finite.
+func (s *Hyper) Score(q *Query, pep []byte, modDeltas []float64) float64 {
+	frags := s.cfg.fragments(q, pep, modDeltas)
+	st := match(q, frags, s.cfg.binWidth())
+	if st.dot <= 0 {
+		return 0
+	}
+	const factCap = 10
+	nb, ny := st.bMatched, st.yMatched
+	if nb > factCap {
+		nb = factCap
+	}
+	if ny > factCap {
+		ny = factCap
+	}
+	return math.Log(st.dot) + logFactorial(nb) + logFactorial(ny)
+}
+
+// SharedPeaks is the hypergeometric shared-peak-count model: the score is
+// −log10 of the probability of matching at least the observed number of
+// predicted fragment bins by chance.
+type SharedPeaks struct {
+	cfg Config
+}
+
+// Name implements Scorer.
+func (s *SharedPeaks) Name() string { return "sharedpeaks" }
+
+// Cost implements Scorer.
+func (s *SharedPeaks) Cost() float64 { return 1.2 }
+
+// Score implements Scorer.
+func (s *SharedPeaks) Score(q *Query, pep []byte, modDeltas []float64) float64 {
+	frags := s.cfg.fragments(q, pep, modDeltas)
+	st := match(q, frags, s.cfg.binWidth())
+	if st.predicted == 0 {
+		return 0
+	}
+	span := int(q.Binned.MaxBin-q.Binned.MinBin) + 1
+	if span < st.predicted {
+		span = st.predicted
+	}
+	if span < q.numPeaks {
+		span = q.numPeaks
+	}
+	p := hypergeomSurvival(span, q.numPeaks, st.predicted, st.distinct)
+	if p <= 0 {
+		p = 1e-300
+	}
+	return -math.Log10(p)
+}
+
+// hypergeomSurvival returns P(X >= k) for X ~ Hypergeometric(M population,
+// K successes, n draws), computed in log space.
+func hypergeomSurvival(M, K, n, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	max := n
+	if K < max {
+		max = K
+	}
+	if k > max {
+		return 0
+	}
+	var sum float64
+	for i := k; i <= max; i++ {
+		if n-i > M-K {
+			continue
+		}
+		lp := logChoose(K, i) + logChoose(M-K, n-i) - logChoose(M, n)
+		sum += math.Exp(lp)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return logFactorial(n) - logFactorial(k) - logFactorial(n-k)
+}
+
+// NullMass returns the parent mass of the shuffled null peptide — equal to
+// the candidate's by construction; exposed for invariant testing.
+func NullMass(pep []byte, modDeltas []float64, t chem.MassType) float64 {
+	null, deltas := shuffle(pep, modDeltas, 0)
+	m, _ := chem.PeptideMass(null, t)
+	for _, d := range deltas {
+		m += d
+	}
+	return m
+}

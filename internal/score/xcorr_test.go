@@ -1,0 +1,128 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"pepscale/internal/spectrum"
+)
+
+func TestXCorrBackgroundCorrection(t *testing.T) {
+	// Adding a flat pedestal of noise peaks to every bin around the true
+	// fragments should barely change the XCorr score (the ±75-bin mean
+	// subtraction removes it), while the raw hyperscore dot inflates.
+	base := makeQuery(t, truePep, 21)
+	xc, _ := New("xcorr", DefaultConfig())
+	clean := xc.Score(base, []byte(truePep), nil)
+
+	// Rebuild the same spectrum plus a dense low-intensity pedestal.
+	model := spectrum.Theoretical("m", []byte(truePep), nil, 2, spectrum.DefaultTheoretical)
+	noisy := &spectrum.Spectrum{ID: "noisy", PrecursorMZ: model.PrecursorMZ, Charge: 2}
+	noisy.Peaks = append(noisy.Peaks, basePeaks(t)...)
+	for mz := 120.0; mz < 1800; mz += 2.5 {
+		noisy.Peaks = append(noisy.Peaks, spectrum.Peak{MZ: mz, Intensity: 8})
+	}
+	noisy.Sort()
+	nq := PrepareQuery(noisy, DefaultConfig())
+	noisyScore := xc.Score(nq, []byte(truePep), nil)
+
+	// The pedestal shifts the normalized intensities, so allow drift, but
+	// the corrected score must stay positive and within the same decade.
+	if noisyScore <= 0 {
+		t.Errorf("pedestal destroyed the xcorr score: %v (clean %v)", noisyScore, clean)
+	}
+	if clean <= 0 {
+		t.Fatalf("clean score %v", clean)
+	}
+}
+
+// basePeaks regenerates the deterministic peak set of makeQuery(seed 21).
+func basePeaks(t *testing.T) []spectrum.Peak {
+	t.Helper()
+	q := makeQueryRaw(21)
+	return q.Peaks
+}
+
+// makeQueryRaw mirrors makeQuery but returns the raw spectrum.
+func makeQueryRaw(seed uint64) *spectrum.Spectrum {
+	model := spectrum.Theoretical("m", []byte(truePep), nil, 2, spectrum.DefaultTheoretical)
+	rng := newTestRNG(seed)
+	s := &spectrum.Spectrum{ID: "q", PrecursorMZ: model.PrecursorMZ, Charge: 2}
+	for _, p := range model.Peaks {
+		if rng.f64() < 0.75 {
+			s.Peaks = append(s.Peaks, spectrum.Peak{MZ: p.MZ + rng.norm()*0.05, Intensity: p.Intensity * 100 * (0.5 + rng.f64())})
+		}
+	}
+	for i := 0; i < 10; i++ {
+		s.Peaks = append(s.Peaks, spectrum.Peak{MZ: 100 + rng.f64()*1500, Intensity: 5 + rng.f64()*20})
+	}
+	s.Sort()
+	return s
+}
+
+// A minimal deterministic RNG mirroring synth.RNG for test reuse without an
+// import cycle concern.
+type testRNG struct {
+	state    uint64
+	spare    float64
+	hasSpare bool
+}
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{state: seed} }
+
+func (r *testRNG) u64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) f64() float64 { return float64(r.u64()>>11) / (1 << 53) }
+
+func (r *testRNG) norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.f64() - 1
+		v = 2*r.f64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+func TestXCorrEmptySpectrum(t *testing.T) {
+	xc, _ := New("xcorr", DefaultConfig())
+	empty := PrepareQuery(&spectrum.Spectrum{ID: "e", PrecursorMZ: 600, Charge: 2}, DefaultConfig())
+	if got := xc.Score(empty, []byte(truePep), nil); got != 0 {
+		t.Errorf("empty spectrum score = %v", got)
+	}
+	if got := xc.Score(empty, []byte("K"), nil); got != 0 {
+		t.Errorf("tiny peptide score = %v", got)
+	}
+}
+
+func TestXCorrLazyBuildIsIdempotent(t *testing.T) {
+	q := makeQuery(t, truePep, 5)
+	xc, _ := New("xcorr", DefaultConfig())
+	a := xc.Score(q, []byte(truePep), nil)
+	// Score from multiple goroutines: the sync.Once build must be safe.
+	done := make(chan float64, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- xc.Score(q, []byte(truePep), nil) }()
+	}
+	for i := 0; i < 8; i++ {
+		if b := <-done; b != a {
+			t.Fatalf("concurrent score %v != %v", b, a)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package spectrum
+
+import (
+	"sort"
+	"sync"
+)
+
+// Library is a spectral library: a store of curated model spectra keyed by
+// peptide sequence (with modification annotation). MSPolygraph "combines
+// the use of highly accurate spectral libraries, when available, with the
+// use of on-the-fly generation of sequence averaged model spectra when
+// spectral libraries are not available"; Library implements the first path
+// and the search engines fall back to Theoretical for the second.
+//
+// Library is safe for concurrent lookup after construction; Add may be
+// called concurrently with Add but not with Lookup.
+type Library struct {
+	mu      sync.RWMutex
+	byPep   map[string]*Spectrum
+	hits    int64
+	misses  int64
+	ordered []string // cached sorted keys, invalidated by Add
+}
+
+// NewLibrary returns an empty spectral library.
+func NewLibrary() *Library {
+	return &Library{byPep: make(map[string]*Spectrum)}
+}
+
+// Add registers a model spectrum for a peptide, replacing any previous one.
+func (l *Library) Add(peptide string, s *Spectrum) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byPep[peptide] = s
+	l.ordered = nil
+}
+
+// Lookup returns the library spectrum for a peptide, if present, and
+// records hit/miss statistics.
+func (l *Library) Lookup(peptide string) (*Spectrum, bool) {
+	l.mu.RLock()
+	s, ok := l.byPep[peptide]
+	l.mu.RUnlock()
+	l.mu.Lock()
+	if ok {
+		l.hits++
+	} else {
+		l.misses++
+	}
+	l.mu.Unlock()
+	return s, ok
+}
+
+// Len returns the number of stored spectra.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.byPep)
+}
+
+// Stats returns cumulative lookup hit/miss counts.
+func (l *Library) Stats() (hits, misses int64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.hits, l.misses
+}
+
+// Peptides returns the stored peptide keys in sorted order.
+func (l *Library) Peptides() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ordered == nil {
+		l.ordered = make([]string, 0, len(l.byPep))
+		for k := range l.byPep {
+			l.ordered = append(l.ordered, k)
+		}
+		sort.Strings(l.ordered)
+	}
+	out := make([]string, len(l.ordered))
+	copy(out, l.ordered)
+	return out
+}

@@ -1,0 +1,138 @@
+package spectrum
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Spectral-library text format (one curated model spectrum per entry):
+//
+//	# pepscale spectral library v1
+//	PEPTIDE <sequence>
+//	PRECURSOR <m/z> <charge>
+//	<m/z> <intensity>
+//	...
+//	END
+//
+// The format exists so curated libraries survive between runs, mirroring
+// MSPolygraph's "use of highly accurate spectral libraries, when
+// available".
+
+// libraryHeader is the required first line of a library file.
+const libraryHeader = "# pepscale spectral library v1"
+
+// ErrLibrary is wrapped by library parse errors.
+var ErrLibrary = errors.New("spectrum: malformed spectral library")
+
+// SaveLibrary writes the library in the text format, entries in sorted
+// peptide order (deterministic output).
+func SaveLibrary(w io.Writer, lib *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, libraryHeader)
+	for _, pep := range lib.Peptides() {
+		s, ok := lib.byPeptide(pep)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(bw, "PEPTIDE %s\n", pep)
+		fmt.Fprintf(bw, "PRECURSOR %.6f %d\n", s.PrecursorMZ, s.Charge)
+		for _, p := range s.Peaks {
+			fmt.Fprintf(bw, "%.4f %.4f\n", p.MZ, p.Intensity)
+		}
+		fmt.Fprintln(bw, "END")
+	}
+	return bw.Flush()
+}
+
+// byPeptide is a lock-consistent lookup that does not perturb hit/miss
+// statistics (used by SaveLibrary).
+func (l *Library) byPeptide(pep string) (*Spectrum, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s, ok := l.byPep[pep]
+	return s, ok
+}
+
+// LoadLibrary parses a library file written by SaveLibrary.
+func LoadLibrary(r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lib := NewLibrary()
+	line := 0
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrLibrary)
+	}
+	line++
+	if strings.TrimSpace(sc.Text()) != libraryHeader {
+		return nil, fmt.Errorf("%w: missing header line", ErrLibrary)
+	}
+	var pep string
+	var cur *Spectrum
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || strings.HasPrefix(text, "#"):
+			continue
+		case strings.HasPrefix(text, "PEPTIDE "):
+			if cur != nil {
+				return nil, fmt.Errorf("%w: PEPTIDE inside entry at line %d", ErrLibrary, line)
+			}
+			pep = strings.TrimSpace(text[len("PEPTIDE "):])
+			if pep == "" {
+				return nil, fmt.Errorf("%w: empty peptide at line %d", ErrLibrary, line)
+			}
+			cur = &Spectrum{ID: "lib:" + pep, Charge: 1}
+		case cur == nil:
+			return nil, fmt.Errorf("%w: content outside entry at line %d", ErrLibrary, line)
+		case strings.HasPrefix(text, "PRECURSOR "):
+			fields := strings.Fields(text[len("PRECURSOR "):])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: PRECURSOR at line %d", ErrLibrary, line)
+			}
+			mz, err1 := strconv.ParseFloat(fields[0], 64)
+			z, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil || z < 1 {
+				return nil, fmt.Errorf("%w: PRECURSOR at line %d", ErrLibrary, line)
+			}
+			cur.PrecursorMZ, cur.Charge = mz, z
+		case text == "END":
+			cur.Sort()
+			lib.Add(pep, cur)
+			cur, pep = nil, ""
+		default:
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%w: peak at line %d", ErrLibrary, line)
+			}
+			mz, err1 := strconv.ParseFloat(fields[0], 64)
+			in, err2 := strconv.ParseFloat(fields[1], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: peak at line %d", ErrLibrary, line)
+			}
+			cur.Peaks = append(cur.Peaks, Peak{MZ: mz, Intensity: in})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("%w: unterminated entry", ErrLibrary)
+	}
+	return lib, nil
+}
+
+// BuildLibrary generates an on-the-fly model library for a peptide set —
+// a convenience for bootstrapping curated libraries from theoretical
+// spectra.
+func BuildLibrary(peptides []string, charge int, opt TheoreticalOptions) *Library {
+	lib := NewLibrary()
+	for _, pep := range peptides {
+		lib.Add(pep, Theoretical("lib:"+pep, []byte(pep), nil, charge, opt))
+	}
+	return lib
+}

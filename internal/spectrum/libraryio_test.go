@@ -1,0 +1,103 @@
+package spectrum
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pepscale/internal/chem"
+)
+
+func TestLibrarySaveLoadRoundTrip(t *testing.T) {
+	lib := NewLibrary()
+	peps := []string{"PEPTIDEK", "MKVLAGHWK", "AAAAAR"}
+	for _, pep := range peps {
+		lib.Add(pep, Theoretical("lib:"+pep, []byte(pep), nil, 2, DefaultTheoretical))
+	}
+	var buf bytes.Buffer
+	if err := SaveLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLibrary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("loaded %d entries", back.Len())
+	}
+	for _, pep := range peps {
+		orig, _ := lib.Lookup(pep)
+		got, ok := back.Lookup(pep)
+		if !ok {
+			t.Fatalf("missing %s", pep)
+		}
+		if got.Charge != orig.Charge {
+			t.Errorf("%s charge %d vs %d", pep, got.Charge, orig.Charge)
+		}
+		if math.Abs(got.PrecursorMZ-orig.PrecursorMZ) > 1e-5 {
+			t.Errorf("%s precursor %v vs %v", pep, got.PrecursorMZ, orig.PrecursorMZ)
+		}
+		if len(got.Peaks) != len(orig.Peaks) {
+			t.Fatalf("%s peaks %d vs %d", pep, len(got.Peaks), len(orig.Peaks))
+		}
+		for i := range got.Peaks {
+			if math.Abs(got.Peaks[i].MZ-orig.Peaks[i].MZ) > 1e-3 {
+				t.Fatalf("%s peak %d mz", pep, i)
+			}
+		}
+	}
+}
+
+func TestSaveLibraryDeterministic(t *testing.T) {
+	lib := BuildLibrary([]string{"ZZZ", "AAA", "MMM"}, 2, DefaultTheoretical)
+	_ = lib // ZZZ has no standard residues but library storage is by key only
+	lib = BuildLibrary([]string{"GGGK", "AAAK", "MMMK"}, 2, DefaultTheoretical)
+	var b1, b2 bytes.Buffer
+	if err := SaveLibrary(&b1, lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveLibrary(&b2, lib); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("SaveLibrary not deterministic")
+	}
+	// Sorted order: AAAK before GGGK before MMMK.
+	first := strings.Index(b1.String(), "AAAK")
+	second := strings.Index(b1.String(), "GGGK")
+	if first < 0 || second < first {
+		t.Error("entries not in sorted peptide order")
+	}
+}
+
+func TestLoadLibraryErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"not a library\n", // bad header
+		"# pepscale spectral library v1\nstray\n",                         // content outside entry
+		"# pepscale spectral library v1\nPEPTIDE A\nPEPTIDE B\nEND\n",     // nested
+		"# pepscale spectral library v1\nPEPTIDE \nEND\n",                 // empty peptide
+		"# pepscale spectral library v1\nPEPTIDE A\nPRECURSOR x 2\nEND\n", // bad precursor
+		"# pepscale spectral library v1\nPEPTIDE A\n100.0\nEND\n",         // short peak
+		"# pepscale spectral library v1\nPEPTIDE A\n100.0 5.0\n",          // unterminated
+	}
+	for _, in := range cases {
+		if _, err := LoadLibrary(strings.NewReader(in)); !errors.Is(err, ErrLibrary) {
+			t.Errorf("LoadLibrary(%q) error = %v, want ErrLibrary", in, err)
+		}
+	}
+}
+
+func TestBuildLibrary(t *testing.T) {
+	lib := BuildLibrary([]string{"PEPTIDEK"}, 2, TheoreticalOptions{MassType: chem.Mono, MaxFragmentCharge: 1})
+	s, ok := lib.Lookup("PEPTIDEK")
+	if !ok || len(s.Peaks) == 0 {
+		t.Fatal("BuildLibrary produced no spectrum")
+	}
+	m, _ := chem.PeptideMass([]byte("PEPTIDEK"), chem.Mono)
+	if math.Abs(s.ParentMass()-m) > 1e-6 {
+		t.Errorf("library precursor %v vs peptide mass %v", s.ParentMass(), m)
+	}
+}

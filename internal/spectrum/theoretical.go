@@ -1,0 +1,167 @@
+package spectrum
+
+import (
+	"pepscale/internal/chem"
+)
+
+// FragmentKind distinguishes the two backbone fragment ion series produced
+// by collision-induced dissociation.
+type FragmentKind uint8
+
+const (
+	// BIon is an N-terminal fragment (prefix of the peptide).
+	BIon FragmentKind = iota
+	// YIon is a C-terminal fragment (suffix of the peptide).
+	YIon
+)
+
+// String implements fmt.Stringer.
+func (k FragmentKind) String() string {
+	if k == BIon {
+		return "b"
+	}
+	return "y"
+}
+
+// Fragment is one theoretical fragment ion of a candidate peptide.
+type Fragment struct {
+	Kind   FragmentKind
+	Index  int // 1-based cleavage index (b_i covers residues [0,i), y_i covers [n-i,n))
+	Charge int
+	MZ     float64
+}
+
+// TheoreticalOptions control on-the-fly model spectrum generation.
+type TheoreticalOptions struct {
+	// MassType selects the fragment mass scale. MSPolygraph-style
+	// sequence-averaged model spectra use Average; high-resolution model
+	// spectra use Mono.
+	MassType chem.MassType
+	// MaxFragmentCharge caps the fragment charge states emitted; fragments
+	// are generated for charges 1..min(MaxFragmentCharge, precursorCharge-1,
+	// but at least 1).
+	MaxFragmentCharge int
+	// NeutralLosses also emits water/ammonia loss peaks at reduced
+	// intensity (an optional refinement of the model).
+	NeutralLosses bool
+}
+
+// DefaultTheoretical is the engine default.
+var DefaultTheoretical = TheoreticalOptions{MassType: Mono(), MaxFragmentCharge: 2}
+
+// Mono returns chem.Mono; it exists so the zero-value literal above reads
+// clearly at the call site.
+func Mono() chem.MassType { return chem.Mono }
+
+// Fragments enumerates the b/y fragment ions for a peptide. modDeltas, if
+// non-nil, holds a per-residue mass shift (length must equal len(pep)).
+// precursorCharge bounds the fragment charges.
+func Fragments(pep []byte, modDeltas []float64, precursorCharge int, opt TheoreticalOptions) []Fragment {
+	n := len(pep)
+	if n < 2 {
+		return nil
+	}
+	tab := chem.Table(opt.MassType)
+	water := chem.WaterMono
+	if opt.MassType == chem.Average {
+		water = chem.WaterAvg
+	}
+	maxZ := opt.MaxFragmentCharge
+	if maxZ < 1 {
+		maxZ = 1
+	}
+	if pcMax := precursorCharge - 1; pcMax >= 1 && maxZ > pcMax {
+		maxZ = pcMax
+	}
+	if maxZ < 1 {
+		maxZ = 1
+	}
+	// Prefix residue-mass sums including modifications.
+	prefix := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		m := tab[pep[i]]
+		if modDeltas != nil {
+			m += modDeltas[i]
+		}
+		prefix[i+1] = prefix[i] + m
+	}
+	total := prefix[n]
+	frags := make([]Fragment, 0, 2*(n-1)*maxZ)
+	for i := 1; i < n; i++ {
+		bNeutral := prefix[i]                   // b_i: residues [0,i)
+		yNeutral := total - prefix[n-i] + water // y_i: residues [n-i,n)
+		for z := 1; z <= maxZ; z++ {
+			frags = append(frags,
+				Fragment{Kind: BIon, Index: i, Charge: z, MZ: chem.MZ(bNeutral, z)},
+				Fragment{Kind: YIon, Index: i, Charge: z, MZ: chem.MZ(yNeutral, z)},
+			)
+		}
+	}
+	return frags
+}
+
+// fragmentIntensity is the sequence-averaged intensity model: y-ions are
+// systematically stronger than b-ions, mid-sequence cleavages are favoured
+// over terminal ones, and higher charge states are attenuated. The model is
+// deliberately simple and deterministic; its role (as in MSPolygraph's
+// on-the-fly path) is to supply relative expectations, not absolute
+// intensities.
+func fragmentIntensity(f Fragment, pepLen int) float64 {
+	series := 0.6
+	if f.Kind == YIon {
+		series = 1.0
+	}
+	// Triangular positional weight peaking mid-sequence.
+	pos := float64(f.Index) / float64(pepLen)
+	positional := 1 - 2*absf(pos-0.5)*0.8
+	charge := 1.0
+	if f.Charge > 1 {
+		charge = 0.4
+	}
+	return series * positional * charge
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Theoretical generates the on-the-fly model spectrum for a candidate
+// peptide: b/y ion peaks with the sequence-averaged intensity model, plus
+// optional neutral-loss satellites.
+func Theoretical(id string, pep []byte, modDeltas []float64, precursorCharge int, opt TheoreticalOptions) *Spectrum {
+	frags := Fragments(pep, modDeltas, precursorCharge, opt)
+	s := &Spectrum{ID: id, Charge: precursorCharge}
+	var parent float64
+	tab := chem.Table(opt.MassType)
+	water := chem.WaterMono
+	if opt.MassType == chem.Average {
+		water = chem.WaterAvg
+	}
+	for i, b := range pep {
+		parent += tab[b]
+		if modDeltas != nil {
+			parent += modDeltas[i]
+		}
+	}
+	parent += water
+	z := precursorCharge
+	if z < 1 {
+		z = 1
+	}
+	s.PrecursorMZ = chem.MZ(parent, z)
+	for _, f := range frags {
+		inten := fragmentIntensity(f, len(pep))
+		s.Peaks = append(s.Peaks, Peak{MZ: f.MZ, Intensity: inten})
+		if opt.NeutralLosses && f.Charge == 1 {
+			s.Peaks = append(s.Peaks,
+				Peak{MZ: f.MZ - chem.WaterMono, Intensity: inten * 0.2},
+				Peak{MZ: f.MZ - chem.AmmoniaMono, Intensity: inten * 0.15},
+			)
+		}
+	}
+	s.Sort()
+	return s
+}

@@ -1,0 +1,67 @@
+package synth
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (splitmix64)
+// used by all synthetic data generation, so that databases and spectra are
+// bit-identical across platforms and runs for a given seed. math/rand is
+// deliberately avoided: its stream is not guaranteed stable across Go
+// releases.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal variate from Box–Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("synth: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// Fork derives an independent generator from the current state and a
+// stream identifier, so parallel generation stays deterministic.
+func (r *RNG) Fork(stream uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (stream * 0xd1342543de82ef95))
+}

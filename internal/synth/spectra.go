@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"fmt"
+
+	"pepscale/internal/chem"
+	"pepscale/internal/digest"
+	"pepscale/internal/fasta"
+	"pepscale/internal/spectrum"
+)
+
+// SpectraSpec describes a synthetic query-spectrum workload.
+type SpectraSpec struct {
+	// Count is m, the number of query spectra.
+	Count int
+	// Charges lists the precursor charge states to draw from (default 2,3).
+	Charges []int
+	// PeakEfficiency is the probability that a theoretical fragment peak
+	// survives into the experimental spectrum (de novo methods are
+	// "handicapped by the large number of peaks that can be missing" —
+	// default 0.7 keeps spectra realistic but identifiable).
+	PeakEfficiency float64
+	// NoisePeaks is the number of random noise peaks added per spectrum.
+	NoisePeaks int
+	// MZJitter is the absolute fragment m/z error standard deviation (Da).
+	MZJitter float64
+	// PrecursorJitter is the parent-mass error standard deviation (Da).
+	PrecursorJitter float64
+	// Digest selects which peptides can be "true" peptides.
+	Digest digest.Params
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// DefaultSpectraSpec mirrors the paper's query workload scale knob: a set
+// of spectra drawn from a (human-like) database.
+func DefaultSpectraSpec(count int) SpectraSpec {
+	return SpectraSpec{
+		Count:           count,
+		Charges:         []int{2, 3},
+		PeakEfficiency:  0.7,
+		NoisePeaks:      15,
+		MZJitter:        0.08,
+		PrecursorJitter: 0.3,
+		Digest:          digest.DefaultParams(),
+		Seed:            0x53504543,
+	}
+}
+
+// Truth pairs a generated spectrum with the peptide that produced it.
+type Truth struct {
+	Spectrum *spectrum.Spectrum
+	// Peptide is the true (unmodified) peptide sequence.
+	Peptide string
+	// Protein is the database index of the source protein.
+	Protein int32
+}
+
+// GenerateSpectra draws true peptides from the tryptic digest of db and
+// fabricates experimental spectra for them: theoretical b/y peaks thinned
+// by PeakEfficiency, intensity- and m/z-jittered, plus uniform noise peaks.
+// Generation is deterministic in (db, spec).
+func GenerateSpectra(db []fasta.Record, spec SpectraSpec) ([]Truth, error) {
+	if spec.Count <= 0 {
+		return nil, nil
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("synth: cannot draw spectra from an empty database")
+	}
+	charges := spec.Charges
+	if len(charges) == 0 {
+		charges = []int{2, 3}
+	}
+	root := NewRNG(spec.Seed)
+	out := make([]Truth, 0, spec.Count)
+	theo := spectrum.TheoreticalOptions{MassType: chem.Mono, MaxFragmentCharge: 2}
+	attempts := 0
+	maxAttempts := spec.Count*50 + 1000
+	for len(out) < spec.Count {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("synth: could not draw %d peptides (got %d) — digest params too restrictive for this database", spec.Count, len(out))
+		}
+		rng := root.Fork(uint64(attempts))
+		pi := rng.Intn(len(db))
+		// Collect this protein's peptides and pick one.
+		var peps []digest.Peptide
+		digest.Digest(db[pi].Seq, int32(pi), spec.Digest, func(p digest.Peptide) {
+			if len(p.Sites) == 0 {
+				peps = append(peps, p)
+			}
+		})
+		if len(peps) == 0 {
+			continue
+		}
+		pep := peps[rng.Intn(len(peps))]
+		z := charges[rng.Intn(len(charges))]
+		model := spectrum.Theoretical("", pep.Seq, nil, z, theo)
+		s := &spectrum.Spectrum{
+			ID:     fmt.Sprintf("Q%05d_%s", len(out), db[pi].ID),
+			Charge: z,
+		}
+		parent := pep.Mass + rng.NormFloat64()*spec.PrecursorJitter
+		s.PrecursorMZ = chem.MZ(parent, z)
+		for _, p := range model.Peaks {
+			if rng.Float64() > spec.PeakEfficiency {
+				continue
+			}
+			inten := p.Intensity * (0.5 + rng.Float64())
+			mz := p.MZ + rng.NormFloat64()*spec.MZJitter
+			s.Peaks = append(s.Peaks, spectrum.Peak{MZ: mz, Intensity: inten * 100})
+		}
+		maxMZ := s.PrecursorMZ * float64(z)
+		for i := 0; i < spec.NoisePeaks; i++ {
+			mz := 100 + rng.Float64()*(maxMZ-100)
+			s.Peaks = append(s.Peaks, spectrum.Peak{MZ: mz, Intensity: 5 + rng.Float64()*25})
+		}
+		if len(s.Peaks) < 5 {
+			continue
+		}
+		s.Sort()
+		out = append(out, Truth{Spectrum: s, Peptide: string(pep.Seq), Protein: int32(pi)})
+	}
+	return out, nil
+}
+
+// Spectra strips the ground truth, returning just the query spectra.
+func Spectra(truths []Truth) []*spectrum.Spectrum {
+	out := make([]*spectrum.Spectrum, len(truths))
+	for i, t := range truths {
+		out[i] = t.Spectrum
+	}
+	return out
+}

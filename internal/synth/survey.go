@@ -1,0 +1,82 @@
+package synth
+
+import (
+	"math"
+
+	"pepscale/internal/chem"
+	"pepscale/internal/digest"
+	"pepscale/internal/fasta"
+)
+
+// GrowthPoint is one year of the GenBank growth model (Figure 1a).
+type GrowthPoint struct {
+	Year      int
+	BasePairs float64
+}
+
+// GenBankGrowth models the NCBI GenBank nucleotide database growth the
+// paper's Figure 1a plots: exponential growth with an ~18-month doubling
+// time, anchored at the 1990 release (~4.9e7 base pairs). The shape — the
+// motivation for parallel search — is what matters.
+func GenBankGrowth(fromYear, toYear int) []GrowthPoint {
+	const (
+		anchorYear = 1990
+		anchorBP   = 4.9e7
+		doublingYr = 1.5
+	)
+	var out []GrowthPoint
+	for y := fromYear; y <= toYear; y++ {
+		bp := anchorBP * math.Pow(2, float64(y-anchorYear)/doublingYr)
+		out = append(out, GrowthPoint{Year: y, BasePairs: bp})
+	}
+	return out
+}
+
+// SurveyScope identifies one database scope of the Figure 1b survey.
+type SurveyScope struct {
+	// Name labels the scope ("protein family", "single genome",
+	// "microbial community", …).
+	Name string
+	// DB is the candidate database restricted to that scope.
+	DB []fasta.Record
+	// Params is the digestion configuration (PTMs inflate candidates).
+	Params digest.Params
+}
+
+// SurveyResult is one row of the Figure 1b reproduction.
+type SurveyResult struct {
+	Name          string
+	Sequences     int
+	MeanPerQuery  float64
+	MaxPerQuery   int
+	TotalIndexLen int
+}
+
+// CandidateSurvey counts, for every query parent mass, how many candidate
+// peptides fall inside the tolerance window under each scope — the paper's
+// Figure 1b ("the number of candidates for evaluation rapidly increases as
+// the unknowns in the source also increases").
+func CandidateSurvey(scopes []SurveyScope, parentMasses []float64, tol chem.Tolerance) ([]SurveyResult, error) {
+	out := make([]SurveyResult, 0, len(scopes))
+	for _, sc := range scopes {
+		ix, err := digest.NewIndex(sc.DB, 0, sc.Params)
+		if err != nil {
+			return nil, err
+		}
+		res := SurveyResult{Name: sc.Name, Sequences: len(sc.DB), TotalIndexLen: ix.Len()}
+		var sum float64
+		for _, m := range parentMasses {
+			lo, hi := tol.Window(m)
+			c := ix.CountInWindow(lo, hi)
+			sum += float64(c)
+			if c > res.MaxPerQuery {
+				res.MaxPerQuery = c
+			}
+		}
+		if len(parentMasses) > 0 {
+			res.MeanPerQuery = sum / float64(len(parentMasses))
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package synth
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pepscale/internal/chem"
+	"pepscale/internal/digest"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds collided immediately")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(123)
+	const n = 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(7)
+	a := r.Fork(1)
+	b := r.Fork(1)
+	// Forks advance the parent state, so consecutive forks differ.
+	if a.Uint64() == b.Uint64() {
+		t.Error("consecutive forks should differ")
+	}
+}
+
+func TestGenerateDBDeterministicAndPrefixStable(t *testing.T) {
+	small := GenerateDB(SizedSpec(50))
+	again := GenerateDB(SizedSpec(50))
+	if !reflect.DeepEqual(small, again) {
+		t.Fatal("generation not deterministic")
+	}
+	big := GenerateDB(SizedSpec(120))
+	if !reflect.DeepEqual(small, big[:50]) {
+		t.Fatal("subsets are not prefix-stable (the paper's nested subsets need this)")
+	}
+}
+
+func TestGenerateDBStats(t *testing.T) {
+	spec := MicrobialSpec(0.002) // ~5310 sequences
+	db := GenerateDB(spec)
+	st := Stats(db)
+	if st.NumSequences != spec.NumSequences {
+		t.Fatalf("count %d vs %d", st.NumSequences, spec.NumSequences)
+	}
+	// Average length within 15% of the Table I target.
+	if math.Abs(st.AvgLength-314.44)/314.44 > 0.15 {
+		t.Errorf("avg length %v, want ≈314.44", st.AvgLength)
+	}
+	// Valid residues only.
+	for _, rec := range db[:50] {
+		for _, b := range rec.Seq {
+			if !chem.IsResidue(b) {
+				t.Fatalf("invalid residue %c", b)
+			}
+		}
+	}
+}
+
+func TestHumanVsMicrobialDiffer(t *testing.T) {
+	h := GenerateDB(HumanSpec(0.0005))
+	m := GenerateDB(MicrobialSpec(0.0005))
+	if string(h[0].Seq) == string(m[0].Seq) {
+		t.Error("presets should generate distinct content")
+	}
+	if h[0].ID[:5] != "HUMAN" || m[0].ID[:5] != "MICRO" {
+		t.Errorf("prefixes: %s %s", h[0].ID, m[0].ID)
+	}
+}
+
+func TestCompositionRealistic(t *testing.T) {
+	db := GenerateDB(SizedSpec(300))
+	counts := map[byte]int{}
+	total := 0
+	for _, rec := range db {
+		for _, b := range rec.Seq {
+			counts[b]++
+			total++
+		}
+	}
+	// K+R fraction near 11.4% gives realistic tryptic peptide lengths.
+	kr := float64(counts['K']+counts['R']) / float64(total)
+	if math.Abs(kr-0.114) > 0.02 {
+		t.Errorf("K+R fraction %v, want ≈0.114", kr)
+	}
+	// Leucine is the most common residue in the model.
+	if counts['L'] < counts['W'] {
+		t.Error("composition frequencies look wrong (W >= L)")
+	}
+}
+
+func TestGenerateSpectra(t *testing.T) {
+	db := GenerateDB(SizedSpec(100))
+	spec := DefaultSpectraSpec(20)
+	truths, err := GenerateSpectra(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truths) != 20 {
+		t.Fatalf("got %d spectra", len(truths))
+	}
+	again, err := GenerateSpectra(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truths {
+		if truths[i].Peptide != again[i].Peptide || truths[i].Spectrum.ID != again[i].Spectrum.ID {
+			t.Fatal("spectra generation not deterministic")
+		}
+	}
+	for _, tr := range truths {
+		// The true peptide's mass matches the precursor within jitter.
+		m, err := chem.PeptideMass([]byte(tr.Peptide), chem.Mono)
+		if err != nil {
+			t.Fatalf("true peptide %q invalid: %v", tr.Peptide, err)
+		}
+		if math.Abs(tr.Spectrum.ParentMass()-m) > 5*spec.PrecursorJitter {
+			t.Errorf("precursor %v far from peptide mass %v", tr.Spectrum.ParentMass(), m)
+		}
+		if len(tr.Spectrum.Peaks) < 5 {
+			t.Errorf("spectrum %s too sparse", tr.Spectrum.ID)
+		}
+		if tr.Protein < 0 || int(tr.Protein) >= len(db) {
+			t.Errorf("protein index %d out of range", tr.Protein)
+		}
+		// The true peptide must be a substring of the named protein.
+		if !containsSub(db[tr.Protein].Seq, tr.Peptide) {
+			t.Errorf("peptide %q not in protein %d", tr.Peptide, tr.Protein)
+		}
+	}
+	// Spectra() strips truth.
+	specs := Spectra(truths)
+	if len(specs) != len(truths) || specs[0] != truths[0].Spectrum {
+		t.Error("Spectra() mismatch")
+	}
+}
+
+func containsSub(hay []byte, needle string) bool {
+	n := len(needle)
+	for i := 0; i+n <= len(hay); i++ {
+		if string(hay[i:i+n]) == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGenerateSpectraErrors(t *testing.T) {
+	if _, err := GenerateSpectra(nil, DefaultSpectraSpec(5)); err == nil {
+		t.Error("empty database should error")
+	}
+	// Impossible digest params cannot yield peptides.
+	spec := DefaultSpectraSpec(5)
+	spec.Digest.MinMass = 1e8
+	spec.Digest.MaxMass = 2e8
+	if _, err := GenerateSpectra(GenerateDB(SizedSpec(5)), spec); err == nil {
+		t.Error("unsatisfiable digest params should error")
+	}
+	// Zero count is a no-op.
+	out, err := GenerateSpectra(GenerateDB(SizedSpec(5)), DefaultSpectraSpec(0))
+	if err != nil || out != nil {
+		t.Errorf("zero count: %v, %v", out, err)
+	}
+}
+
+func TestGenBankGrowth(t *testing.T) {
+	pts := GenBankGrowth(1990, 2008)
+	if len(pts) != 19 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		ratio := pts[i].BasePairs / pts[i-1].BasePairs
+		// 18-month doubling → ~1.587x per year.
+		if math.Abs(ratio-math.Pow(2, 1/1.5)) > 1e-9 {
+			t.Fatalf("growth ratio %v at %d", ratio, pts[i].Year)
+		}
+	}
+	// 2008 lands within an order of magnitude of the real ~1e11.
+	last := pts[len(pts)-1].BasePairs
+	if last < 2e10 || last > 1e12 {
+		t.Errorf("2008 size %v implausible", last)
+	}
+}
+
+func TestCandidateSurveyMonotonic(t *testing.T) {
+	db := GenerateDB(SizedSpec(400))
+	params := digest.DefaultParams()
+	masses := []float64{800, 1200, 1600, 2200, 3000}
+	scopes := []SurveyScope{
+		{Name: "family", DB: db[:20], Params: params},
+		{Name: "genome", DB: db[:100], Params: params},
+		{Name: "community", DB: db, Params: params},
+	}
+	rows, err := CandidateSurvey(scopes, masses, chem.DaltonTolerance(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MeanPerQuery >= rows[1].MeanPerQuery || rows[1].MeanPerQuery >= rows[2].MeanPerQuery {
+		t.Errorf("candidates should grow with scope: %v", rows)
+	}
+	// PTMs inflate candidates at the same scope (Figure 1b's second axis).
+	withMods := params
+	withMods.Mods = []chem.Mod{chem.OxidationM, chem.PhosphoSTY}
+	withMods.MaxModsPerPeptide = 2
+	rows2, err := CandidateSurvey([]SurveyScope{
+		{Name: "plain", DB: db[:100], Params: params},
+		{Name: "ptm", DB: db[:100], Params: withMods},
+	}, masses, chem.DaltonTolerance(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows2[1].MeanPerQuery <= rows2[0].MeanPerQuery {
+		t.Errorf("PTMs should add candidates: %v", rows2)
+	}
+}
+
+func TestCandidateSurveyPropagatesErrors(t *testing.T) {
+	bad := digest.Params{MinLength: 5, MaxLength: 1}
+	_, err := CandidateSurvey([]SurveyScope{{Name: "x", Params: bad}}, []float64{1000}, chem.DaltonTolerance(1))
+	if err == nil {
+		t.Error("invalid params should propagate")
+	}
+}
+
+func TestSizedSpecQuick(t *testing.T) {
+	f := func(n16 uint16) bool {
+		n := int(n16%200) + 1
+		db := GenerateDB(SizedSpec(n))
+		return len(db) == n && len(db[0].Seq) >= 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package topk maintains bounded lists of the highest-scoring peptide hits
+// for a query, as required by the peptide identification problem statement:
+// "identify a list of at most τ top database hits for every input spectrum".
+//
+// The list is a size-bounded min-heap: offering a hit below the current
+// threshold when the list is full is an O(1) rejection, so the amortized
+// cost of maintaining the list during a database scan is O(r + τ log τ) for
+// r offered candidates.
+package topk
+
+import (
+	"sort"
+)
+
+// Hit is a scored candidate peptide match for one query spectrum.
+type Hit struct {
+	// Peptide is the candidate sequence (with modification annotations, if
+	// any, in bracket notation, e.g. "PEPM[+15.99]TIDE").
+	Peptide string
+	// Protein is the index of the database sequence the candidate came from.
+	Protein int32
+	// ProteinID is the source sequence's FASTA identifier (reporting only;
+	// it does not participate in ordering).
+	ProteinID string
+	// Mass is the candidate's neutral parent mass.
+	Mass float64
+	// Score is the scoring-model value; larger is better.
+	Score float64
+}
+
+// less orders hits for the heap and for final reporting. Ties on score are
+// broken deterministically (peptide, then protein index, then mass) so that
+// every execution — serial, master–worker, or either distributed algorithm —
+// reports byte-identical hit lists.
+func less(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	if a.Peptide != b.Peptide {
+		return a.Peptide > b.Peptide
+	}
+	if a.Protein != b.Protein {
+		return a.Protein > b.Protein
+	}
+	return a.Mass > b.Mass
+}
+
+// List accumulates the top-K hits by score. The zero value is unusable; use
+// New.
+type List struct {
+	k int
+	h []Hit // min-heap ordered by less
+}
+
+// New returns a list that retains at most k hits. k <= 0 yields a list that
+// rejects everything (a legal degenerate configuration used in tests).
+func New(k int) *List {
+	if k < 0 {
+		k = 0
+	}
+	return &List{k: k}
+}
+
+// K returns the capacity bound τ.
+func (l *List) K() int { return l.k }
+
+// Len returns the number of hits currently retained.
+func (l *List) Len() int { return len(l.h) }
+
+// Threshold returns the minimum score a new hit must exceed to be retained,
+// and false if the list is not yet full (every hit is retained).
+func (l *List) Threshold() (float64, bool) {
+	if len(l.h) < l.k || l.k == 0 {
+		return 0, false
+	}
+	return l.h[0].Score, true
+}
+
+// Offer considers hit h for inclusion and reports whether it was retained.
+func (l *List) Offer(h Hit) bool {
+	if l.k == 0 {
+		return false
+	}
+	if len(l.h) < l.k {
+		l.h = append(l.h, h)
+		l.up(len(l.h) - 1)
+		return true
+	}
+	if !less(l.h[0], h) {
+		return false
+	}
+	l.h[0] = h
+	l.down(0)
+	return true
+}
+
+// Merge offers every hit retained by other into l. other is unchanged.
+func (l *List) Merge(other *List) {
+	for _, h := range other.h {
+		l.Offer(h)
+	}
+}
+
+// Hits returns the retained hits ordered best-first. The result is a fresh
+// slice; the list remains usable.
+func (l *List) Hits() []Hit {
+	out := make([]Hit, len(l.h))
+	copy(out, l.h)
+	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
+	return out
+}
+
+func (l *List) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(l.h[i], l.h[parent]) {
+			return
+		}
+		l.h[i], l.h[parent] = l.h[parent], l.h[i]
+		i = parent
+	}
+}
+
+func (l *List) down(i int) {
+	n := len(l.h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && less(l.h[left], l.h[smallest]) {
+			smallest = left
+		}
+		if right < n && less(l.h[right], l.h[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		l.h[i], l.h[smallest] = l.h[smallest], l.h[i]
+		i = smallest
+	}
+}

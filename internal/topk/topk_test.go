@@ -1,0 +1,167 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkHit(score float64, i int) Hit {
+	return Hit{Peptide: fmt.Sprintf("PEP%04d", i), Protein: int32(i), Mass: 1000 + float64(i), Score: score}
+}
+
+// reference computes the expected top-k by full sort.
+func reference(hits []Hit, k int) []Hit {
+	cp := make([]Hit, len(hits))
+	copy(cp, hits)
+	sort.Slice(cp, func(i, j int) bool { return less(cp[j], cp[i]) })
+	if len(cp) > k {
+		cp = cp[:k]
+	}
+	return cp
+}
+
+func TestTopKMatchesSortReference(t *testing.T) {
+	f := func(scores []float64, k8 uint8) bool {
+		k := int(k8%20) + 1
+		l := New(k)
+		hits := make([]Hit, len(scores))
+		for i, s := range scores {
+			hits[i] = mkHit(s, i)
+			l.Offer(hits[i])
+		}
+		return reflect.DeepEqual(l.Hits(), reference(hits, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfferOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hits := make([]Hit, 100)
+	for i := range hits {
+		hits[i] = mkHit(rng.NormFloat64(), i)
+	}
+	l1 := New(10)
+	for _, h := range hits {
+		l1.Offer(h)
+	}
+	perm := rng.Perm(len(hits))
+	l2 := New(10)
+	for _, i := range perm {
+		l2.Offer(hits[i])
+	}
+	if !reflect.DeepEqual(l1.Hits(), l2.Hits()) {
+		t.Error("top-k depends on offer order")
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	// All equal scores: ordering must fall back to peptide/protein.
+	l := New(3)
+	for i := 4; i >= 0; i-- {
+		l.Offer(mkHit(1.0, i))
+	}
+	hits := l.Hits()
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	for i := 0; i < len(hits)-1; i++ {
+		if hits[i].Peptide > hits[i+1].Peptide {
+			t.Errorf("tie-break not by ascending peptide: %v before %v", hits[i].Peptide, hits[i+1].Peptide)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	l := New(2)
+	if _, full := l.Threshold(); full {
+		t.Error("empty list reports full")
+	}
+	l.Offer(mkHit(5, 1))
+	l.Offer(mkHit(3, 2))
+	th, full := l.Threshold()
+	if !full || th != 3 {
+		t.Errorf("Threshold = %v, %v; want 3, true", th, full)
+	}
+	if l.Offer(mkHit(2, 3)) {
+		t.Error("hit below threshold retained")
+	}
+	if !l.Offer(mkHit(4, 4)) {
+		t.Error("hit above threshold rejected")
+	}
+	th, _ = l.Threshold()
+	if th != 4 {
+		t.Errorf("Threshold after eviction = %v, want 4", th)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		l := New(k)
+		if l.Offer(mkHit(100, 1)) {
+			t.Errorf("New(%d) retained a hit", k)
+		}
+		if l.Len() != 0 || len(l.Hits()) != 0 {
+			t.Errorf("New(%d) non-empty", k)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(5), New(5)
+	var all []Hit
+	for i := 0; i < 20; i++ {
+		h := mkHit(float64(i*7%13), i)
+		all = append(all, h)
+		if i%2 == 0 {
+			a.Offer(h)
+		} else {
+			b.Offer(h)
+		}
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(a.Hits(), reference(all, 5)) {
+		t.Error("merge result differs from global top-k")
+	}
+	if b.Len() != 5 {
+		t.Error("merge modified the source list")
+	}
+}
+
+func TestHitsDoesNotMutate(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Offer(mkHit(float64(i), i))
+	}
+	h1 := l.Hits()
+	h2 := l.Hits()
+	if !reflect.DeepEqual(h1, h2) {
+		t.Error("repeated Hits() calls disagree")
+	}
+	h1[0].Score = -999
+	if reflect.DeepEqual(l.Hits()[0], h1[0]) {
+		t.Error("Hits() returned aliased storage")
+	}
+}
+
+func TestNaNScoresDoNotCorruptHeap(t *testing.T) {
+	// NaN comparisons are always false; the heap must stay size-bounded
+	// and not panic.
+	l := New(3)
+	nan := func() float64 { var z float64; return z / z }()
+	for i := 0; i < 10; i++ {
+		s := float64(i)
+		if i%3 == 0 {
+			s = nan
+		}
+		l.Offer(mkHit(s, i))
+	}
+	if l.Len() > 3 {
+		t.Errorf("heap grew past capacity: %d", l.Len())
+	}
+}
