@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench race examples experiments quick-experiments clean
+.PHONY: all check build vet test test-short bench bench-json race examples experiments quick-experiments clean
 
 all: build vet test
+
+# check is the pre-merge gate: compile, vet, full tests, and the race
+# detector over the packages with rank-concurrent code paths.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -19,10 +23,17 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/core/
+	$(GO) test -race ./internal/cluster/ ./internal/score/... ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json refreshes the checked-in scoring-kernel baseline. Run on a
+# quiet machine; compare against git history before committing.
+bench-json:
+	{ $(GO) test -bench 'BenchmarkScorers' -benchmem -run '^$$' . ; \
+	  $(GO) test -bench 'BenchmarkScanKernel|BenchmarkEngineHostTime' -run '^$$' ./internal/core/ ; } \
+	  | $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
 examples:
 	$(GO) run ./examples/quickstart

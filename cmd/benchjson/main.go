@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so kernel benchmark baselines can be checked in and
+// compared across commits (see `make bench-json`).
+//
+// Usage:
+//
+//	go test -bench ... | benchjson -o BENCH_kernel.json
+//
+// Input may concatenate the output of several `go test -bench` runs; the
+// context header (goos/goarch/cpu) is taken from the first one seen.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark path without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line
+	// (ns/op, B/op, allocs/op, and any b.ReportMetric custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document: the machine context plus every benchmark.
+type Report struct {
+	Goos      string      `json:"goos,omitempty"`
+	Goarch    string      `json:"goarch,omitempty"`
+	CPU       string      `json:"cpu,omitempty"`
+	Benchmark []Benchmark `json:"benchmarks"`
+}
+
+// parseBench reads concatenated `go test -bench` output.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			if rep.Goos == "" {
+				rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			}
+		case strings.HasPrefix(line, "goarch:"):
+			if rep.Goarch == "" {
+				rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			}
+		case strings.HasPrefix(line, "cpu:"):
+			if rep.CPU == "" {
+				rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rep.Benchmark = append(rep.Benchmark, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName/sub-8   1399   1745094 ns/op   775.0 cand/op   16 allocs/op
+//
+// Returns ok=false for Benchmark lines that are not results (e.g. the bare
+// name `go test` prints before a sub-benchmark runs).
+func parseLine(line string) (Benchmark, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("benchjson: bad value %q in %q", f[i], line)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmark) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pepscale/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScanKernel/likelihood-8         	    1399	   1745094 ns/op	       775.0 cand/op	    444102 cand/s	     348 B/op	      16 allocs/op
+BenchmarkScanKernel/hyper-8              	    6752	    353856 ns/op	       775.0 cand/op	   2190157 cand/s	     345 B/op	      16 allocs/op
+PASS
+ok  	pepscale/internal/core	11.850s
+goos: linux
+goarch: amd64
+pkg: pepscale
+BenchmarkScorers/xcorr-8 	 9671007	       252.3 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("context = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmark) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmark))
+	}
+	b := rep.Benchmark[0]
+	if b.Name != "BenchmarkScanKernel/likelihood" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Iterations != 1399 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	if b.Metrics["cand/s"] != 444102 || b.Metrics["allocs/op"] != 16 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if rep.Benchmark[2].Metrics["allocs/op"] != 0 {
+		t.Errorf("xcorr allocs = %v", rep.Benchmark[2].Metrics["allocs/op"])
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkScanKernel/likelihood",      // bare name, no fields
+		"BenchmarkFoo-8 notanumber 1 ns/op x", // odd field count
+	} {
+		if _, ok, err := parseLine(line); ok || err != nil {
+			t.Errorf("parseLine(%q) = ok=%v err=%v, want skip", line, ok, err)
+		}
+	}
+}

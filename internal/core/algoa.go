@@ -107,15 +107,15 @@ func loadPhaseOpts(r *cluster.Rank, in Input, opt Options, blocks, myBlock int, 
 
 // processBlock digests a block into its mass index (memoized host-side per
 // run; the clock still charges each rank), scans all given queries against
-// it, and charges the digestion, scoring, and reporting costs. raw is the
-// block's wire image and gidSalt distinguishes blocks whose bytes do not
-// already encode protein numbering. It returns the candidate count.
-func processBlock(r *cluster.Rank, l *loaded, opt Options, qs []*score.Query, lists []*topk.List, recs []fasta.Record, gids []int32, idOf func(int32) string, raw []byte, gidSalt uint64) (int64, error) {
+// it, and charges the digestion, scoring, and reporting costs. key is the
+// block's precomputed cache identity (see blockKey) — threading it through
+// the transport loops avoids re-hashing every transported block's bytes on
+// every iteration. It returns the candidate count.
+func processBlock(r *cluster.Rank, l *loaded, opt Options, qs []*score.Query, lists []*topk.List, recs []fasta.Record, gids []int32, idOf func(int32) string, key cacheKey) (int64, error) {
 	cost := r.Cost()
 	if gids == nil {
 		return 0, fmt.Errorf("processBlock: nil gids")
 	}
-	key := cacheKey{hash: hashBlock(raw) ^ gidSalt, size: len(raw)}
 	ix, err := l.cache.indexFor(key, recs, gids, opt.Digest)
 	if err != nil {
 		return 0, err
@@ -194,7 +194,7 @@ func algorithmABody(r *cluster.Rank, in Input, opt Options, masking bool, sh *sh
 	loadSec := r.Time() - t0
 
 	curRecs, curBase := l.recs, l.bases[id]
-	curRaw := l.myBytes
+	curKey := blockKey(id, len(l.myBytes))
 	var curAlloc int64 // transported Dcomp footprint (0 while scanning Di)
 	var candidates int64
 	for s := 0; s < p; s++ {
@@ -203,7 +203,7 @@ func algorithmABody(r *cluster.Rank, in Input, opt Options, masking bool, sh *sh
 		if masking && s+1 < p {
 			pending = r.Get(nextOwner, dbWindow)
 		}
-		c, err := processBlock(r, l, opt, l.qs, l.lists, curRecs, contiguousGIDs(curBase, len(curRecs)), blockIDResolver(curRecs, curBase), curRaw, uint64(curBase))
+		c, err := processBlock(r, l, opt, l.qs, l.lists, curRecs, contiguousGIDs(curBase, len(curRecs)), blockIDResolver(curRecs, curBase), curKey)
 		if err != nil {
 			return err
 		}
@@ -221,12 +221,12 @@ func algorithmABody(r *cluster.Rank, in Input, opt Options, masking bool, sh *sh
 				r.NoteFree(curAlloc) // previous transported block released
 			}
 			curAlloc = int64(len(data))
-			curRecs, err = l.cache.recsFor(data)
+			curKey = blockKey(nextOwner, len(data))
+			curRecs, err = l.cache.recsFor(curKey, data)
 			if err != nil {
 				return fmt.Errorf("rank %d: block from rank %d: %w", id, nextOwner, err)
 			}
 			curBase = l.bases[nextOwner]
-			curRaw = data
 		}
 	}
 	if curAlloc > 0 {

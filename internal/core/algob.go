@@ -109,34 +109,37 @@ func algorithmBBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 func bTransportLoop(r *cluster.Rank, l *loaded, opt Options, sorted *sortmz.Result, ownRaw []byte, owners []int, id int) (int64, error) {
 	var candidates int64
 	var cur []sortmz.Seq
-	var curRaw []byte
+	var curKey cacheKey
 	var curAlloc int64
 	masking := opt.Masking
 
-	fetch := func(pending *cluster.Pending) ([]sortmz.Seq, []byte, error) {
+	// Each rank's sorted slice is unique within the run, so the owner rank
+	// is the block's cache identity — no content hashing per fetch.
+	fetch := func(owner int, pending *cluster.Pending) ([]sortmz.Seq, cacheKey, int64, error) {
 		data, err := pending.Wait()
 		if err != nil {
-			return nil, nil, err
+			return nil, cacheKey{}, 0, err
 		}
-		seqs, err := l.cache.seqsFor(data)
+		key := blockKey(owner, len(data))
+		seqs, err := l.cache.seqsFor(key, data)
 		if err != nil {
-			return nil, nil, err
+			return nil, cacheKey{}, 0, err
 		}
 		r.NoteAlloc(int64(len(data)))
-		return seqs, data, nil
+		return seqs, key, int64(len(data)), nil
 	}
 
 	for si, owner := range owners {
 		if si == 0 {
 			if owner == id {
-				cur, curRaw = sorted.Local, ownRaw
+				cur, curKey = sorted.Local, blockKey(id, len(ownRaw))
 			} else {
 				// First block is remote: nothing to mask against yet.
-				seqs, data, err := fetch(r.Get(owner, dbWindow))
+				seqs, key, alloc, err := fetch(owner, r.Get(owner, dbWindow))
 				if err != nil {
 					return 0, err
 				}
-				cur, curRaw, curAlloc = seqs, data, int64(len(data))
+				cur, curKey, curAlloc = seqs, key, alloc
 			}
 		}
 		var pending *cluster.Pending
@@ -167,7 +170,7 @@ func bTransportLoop(r *cluster.Rank, l *loaded, opt Options, sorted *sortmz.Resu
 				return idStr
 			}
 			return fmt.Sprintf("protein_%d", g)
-		}, curRaw, 0)
+		}, curKey)
 		if err != nil {
 			return 0, err
 		}
@@ -177,14 +180,14 @@ func bTransportLoop(r *cluster.Rank, l *loaded, opt Options, sorted *sortmz.Resu
 			if !masking {
 				pending = r.Get(owners[si+1], dbWindow)
 			}
-			seqs, data, err := fetch(pending)
+			seqs, key, alloc, err := fetch(owners[si+1], pending)
 			if err != nil {
 				return 0, err
 			}
 			if curAlloc > 0 {
 				r.NoteFree(curAlloc)
 			}
-			cur, curRaw, curAlloc = seqs, data, int64(len(data))
+			cur, curKey, curAlloc = seqs, key, alloc
 		}
 	}
 	if curAlloc > 0 {

@@ -48,22 +48,20 @@ type cacheKey struct {
 	kind cacheKind
 }
 
-func newIndexCache() *indexCache {
-	return &indexCache{m: make(map[cacheKey]*cacheEntry)}
+// blockKey identifies one transported block within a run. The cache lives
+// for a single run, every rank partitions the database with the identical
+// fasta.Ranges / counting-sort computation, and a block's wire image is a
+// pure function of its block index (Algorithms A, SubGroup) or owner rank
+// (Algorithm B, Candidate) — so the index alone is a collision-free key.
+// Deriving it once per block replaces the old content re-hash, which
+// re-FNVed every transported block's O(N/p) bytes on every iteration of
+// every rank's transport loop (O(p²·N/p) = O(pN) hashed bytes per run).
+func blockKey(block int, size int) cacheKey {
+	return cacheKey{hash: uint64(block), size: size}
 }
 
-// hashBlock fingerprints a block's raw bytes (FNV-1a).
-func hashBlock(b []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime
-	}
-	return h
+func newIndexCache() *indexCache {
+	return &indexCache{m: make(map[cacheKey]*cacheEntry)}
 }
 
 // getOrBuild returns the cached value for key, building it exactly once
@@ -86,9 +84,9 @@ func (c *indexCache) getOrBuild(key cacheKey, build func() (interface{}, error))
 }
 
 // indexFor returns the mass index for a block, building it on first use.
-// hash must fingerprint both content and protein numbering (callers fold
-// the base gid into it for contiguous blocks; Algorithm B's wire format
-// embeds gids in the bytes).
+// key must identify both content and protein numbering; block-index keys do
+// (the gid bases are a pure function of the block index, and Algorithm B's
+// wire format embeds gids in the bytes).
 func (c *indexCache) indexFor(key cacheKey, recs []fasta.Record, gids []int32, p digest.Params) (*digest.Index, error) {
 	key.kind = kindIndex
 	v, err := c.getOrBuild(key, func() (interface{}, error) {
@@ -100,9 +98,9 @@ func (c *indexCache) indexFor(key cacheKey, recs []fasta.Record, gids []int32, p
 	return v.(*digest.Index), nil
 }
 
-// recsFor parses a raw FASTA block once per content.
-func (c *indexCache) recsFor(raw []byte) ([]fasta.Record, error) {
-	key := cacheKey{hash: hashBlock(raw), size: len(raw), kind: kindRecords}
+// recsFor parses a raw FASTA block once per key.
+func (c *indexCache) recsFor(key cacheKey, raw []byte) ([]fasta.Record, error) {
+	key.kind = kindRecords
 	v, err := c.getOrBuild(key, func() (interface{}, error) {
 		return fasta.ParseBytes(raw)
 	})
@@ -112,9 +110,9 @@ func (c *indexCache) recsFor(raw []byte) ([]fasta.Record, error) {
 	return v.([]fasta.Record), nil
 }
 
-// seqsFor decodes an Algorithm B wire block once per content.
-func (c *indexCache) seqsFor(raw []byte) ([]sortmz.Seq, error) {
-	key := cacheKey{hash: hashBlock(raw), size: len(raw), kind: kindSeqs}
+// seqsFor decodes an Algorithm B wire block once per key.
+func (c *indexCache) seqsFor(key cacheKey, raw []byte) ([]sortmz.Seq, error) {
+	key.kind = kindSeqs
 	v, err := c.getOrBuild(key, func() (interface{}, error) {
 		return sortmz.UnmarshalSeqs(raw)
 	})
@@ -124,9 +122,9 @@ func (c *indexCache) seqsFor(raw []byte) ([]sortmz.Seq, error) {
 	return v.([]sortmz.Seq), nil
 }
 
-// candsFor decodes a candidate-transport wire block once per content.
-func (c *indexCache) candsFor(raw []byte) ([]candEntry, error) {
-	key := cacheKey{hash: hashBlock(raw), size: len(raw), kind: kindCands}
+// candsFor decodes a candidate-transport wire block once per key.
+func (c *indexCache) candsFor(key cacheKey, raw []byte) ([]candEntry, error) {
+	key.kind = kindCands
 	v, err := c.getOrBuild(key, func() (interface{}, error) {
 		return unmarshalCands(raw)
 	})

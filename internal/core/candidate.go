@@ -136,9 +136,8 @@ func candidateBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	l.cache = sh.cache
 	loadSec := r.Time() - t0
 
-	// C2: digest the local block once.
-	key := cacheKey{hash: hashBlock(l.myBytes) ^ uint64(l.bases[id]), size: len(l.myBytes)}
-	ix, err := l.cache.indexFor(key, l.recs, contiguousGIDs(l.bases[id], len(l.recs)), opt.Digest)
+	// C2: digest the local block once (block index = rank id here).
+	ix, err := l.cache.indexFor(blockKey(id, len(l.myBytes)), l.recs, contiguousGIDs(l.bases[id], len(l.recs)), opt.Digest)
 	if err != nil {
 		return err
 	}
@@ -372,7 +371,7 @@ func candScanPhase(r *cluster.Rank, l *loaded, opt Options, own []candEntry, ban
 				}
 				r.NoteAlloc(int64(len(data)))
 				curAlloc = int64(len(data))
-				if cur, err = l.cache.candsFor(data); err != nil {
+				if cur, err = l.cache.candsFor(blockKey(owner, len(data)), data); err != nil {
 					return nil, 0, err
 				}
 				r.Compute(cost.SortSecPerKey * float64(len(cur)))
@@ -402,7 +401,7 @@ func candScanPhase(r *cluster.Rank, l *loaded, opt Options, own []candEntry, ban
 				r.NoteFree(curAlloc)
 			}
 			curAlloc = int64(len(data))
-			if cur, err = l.cache.candsFor(data); err != nil {
+			if cur, err = l.cache.candsFor(blockKey(needed[si+1], len(data)), data); err != nil {
 				return nil, 0, err
 			}
 			r.Compute(cost.SortSecPerKey * float64(len(cur)))

@@ -233,24 +233,44 @@ const prefilterCostFraction = 0.15
 // current block. It performs no clock charging — callers convert the
 // returned stats into virtual time so the same scan logic serves both the
 // engines and the pure serial reference.
+//
+// The inner loop is allocation-free per candidate: modification deltas and
+// prefilter fragments reuse scan-level buffers, and a topk.Hit (annotated
+// peptide string, protein-ID lookup) is materialized only after the raw
+// score beats both MinScore and the list's current threshold. A hit scoring
+// strictly below a full list's worst retained score can never be accepted
+// (ties fall through to Offer, whose deterministic tie-break needs the
+// materialized strings), so skipping it changes neither results nor the
+// Offered count that feeds the virtual clock.
 func scanIndex(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
 	var st scanStats
 	mods := opt.Digest.Mods
+	var deltaBuf []float64
+	var fragBuf []spectrum.Fragment
 	for qi, q := range qs {
 		lo, hi := opt.Tol.Window(q.ParentMass)
 		start, end := ix.Window(lo, hi)
 		st.Candidates += int64(end - start)
+		list := lists[qi]
 		for i := start; i < end; i++ {
 			pep := ix.At(i)
-			deltas := pep.ModDeltas(mods)
+			deltas := pep.AppendModDeltas(deltaBuf, mods)
+			if deltas != nil {
+				deltaBuf = deltas
+			}
 			if opt.Prefilter > 0 {
-				if score.QuickMatchFraction(q, pep.Seq, deltas, opt.Score) < opt.Prefilter {
+				var frac float64
+				frac, fragBuf = score.QuickMatchFractionBuf(q, pep.Seq, deltas, opt.Score, fragBuf)
+				if frac < opt.Prefilter {
 					st.Prefiltered++
 					continue
 				}
 			}
 			s := sc.Score(q, pep.Seq, deltas)
 			if s <= opt.MinScore {
+				continue
+			}
+			if thr, full := list.Threshold(); full && s < thr {
 				continue
 			}
 			hit := topk.Hit{
@@ -260,7 +280,7 @@ func scanIndex(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score
 				Mass:      pep.Mass,
 				Score:     s,
 			}
-			if lists[qi].Offer(hit) {
+			if list.Offer(hit) {
 				st.Offered++
 			}
 		}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"pepscale/internal/cluster"
+)
+
+// goldenTopHits are the expected top-1 hits (peptide and exact score to 12
+// significant digits) of the Serial reference over the fixed synthetic
+// workload, one row per query, for each scorer. They pin the numerical
+// behavior of the whole scoring stack — fragment generation, binning,
+// matching, the statistical models — so any change that perturbs the float
+// math (reordered additions, altered constants, approximate shortcuts)
+// fails loudly instead of silently shifting identifications.
+var goldenTopHits = map[string][]string{
+	"likelihood": {
+		"DAKIMQTIK 56.8749163438",
+		"AKFASQRQALLGGYADADMYSTSLIILACYTNAK 179.505297243",
+		"CMSTADDAVEQDHAVAAQARAQS 136.091710329",
+		"CMSTADDAVEQDHAVAAQAR 126.205780292",
+		"LALTVAFFSYESGLGECRCKILLPGGGYHLALR 169.019146861",
+		"GALSPSQGDIGGRTQLGYREETK 142.828891356",
+	},
+	"hyper": {
+		"DAKIMQTIK 32.666295148",
+		"AKFASQRQALLGGYADADMYSTSLIILACYTNAK 33.5579048886",
+		"CMSTADDAVEQDHAVAAQARAQS 33.3691110322",
+		"CMSTADDAVEQDHAVAAQAR 33.4836456936",
+		"LALTVAFFSYESGLGECRCKILLPGGGYHLALR 33.5259890478",
+		"GALSPSQGDIGGRTQLGYREETK 33.5005080229",
+	},
+	"sharedpeaks": {
+		"DAKIMQTIK 27.6705607034",
+		"AKFASQRQALLGGYADADMYSTSLIILACYTNAK 78.8234225044",
+		"CMSTADDAVEQDHAVAAQARAQS 58.143102544",
+		"CMSTADDAVEQDHAVAAQAR 51.8945242573",
+		"LALTVAFFSYESGLGECRCKILLPGGGYHLALR 66.3329598494",
+		"GALSPSQGDIGGRTQLGYREETK 60.4723350324",
+	},
+	"xcorr": {
+		"DAKIMQTIK 1.09603788871",
+		"AKFASQRQALLGGYADADMYSTSLIILACYTNAK 2.78490168177",
+		"CMSTADDAVEQDHAVAAQARAQS 2.22165760529",
+		"CMSTADDAVEQDHAVAAQAR 2.48059104826",
+		"LALTVAFFSYESGLGECRCKILLPGGGYHLALR 2.69125975508",
+		"GALSPSQGDIGGRTQLGYREETK 2.54132620084",
+	},
+}
+
+// TestGoldenScores runs the Serial engine with every scorer over a fixed
+// synthetic database and spectra and compares the top hit of each query
+// against the recorded golden values. Regenerate with
+// PEPSCALE_GOLDEN=regen go test -run TestGoldenScores ./internal/core/.
+func TestGoldenScores(t *testing.T) {
+	in := testInput(t, 50, 6)
+	regen := os.Getenv("PEPSCALE_GOLDEN") == "regen"
+	for _, scorer := range []string{"likelihood", "hyper", "sharedpeaks", "xcorr"} {
+		opt := testOptions()
+		opt.ScorerName = scorer
+		res, err := Serial(in, opt, cluster.GigabitCluster())
+		if err != nil {
+			t.Fatalf("%s: %v", scorer, err)
+		}
+		var got []string
+		for _, qr := range res.Queries {
+			if len(qr.Hits) == 0 {
+				got = append(got, "-")
+				continue
+			}
+			h := qr.Hits[0]
+			got = append(got, fmt.Sprintf("%s %.12g", h.Peptide, h.Score))
+		}
+		if regen {
+			fmt.Printf("\t%q: {\n", scorer)
+			for _, g := range got {
+				fmt.Printf("\t\t%q,\n", g)
+			}
+			fmt.Printf("\t},\n")
+			continue
+		}
+		want := goldenTopHits[scorer]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d queries, want %d", scorer, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: query %d top hit = %q, want %q", scorer, i, got[i], want[i])
+			}
+		}
+	}
+}

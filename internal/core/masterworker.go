@@ -11,6 +11,7 @@ import (
 	"pepscale/internal/score"
 	"pepscale/internal/spectrum"
 	"pepscale/internal/topk"
+	"pepscale/internal/xhash"
 )
 
 // Message tags of the master–worker protocol.
@@ -32,9 +33,10 @@ type resultMsg struct {
 }
 
 // fullDBKey is the memoization key for the whole-database index used by
-// the replicated master–worker baseline.
+// the replicated master–worker baseline. Content hashing is fine here: it
+// happens once per rank at load time, not inside a transport loop.
 func fullDBKey(in Input) cacheKey {
-	return cacheKey{hash: hashBlock(in.DBData), size: len(in.DBData)}
+	return cacheKey{hash: xhash.Sum64(in.DBData), size: len(in.DBData)}
 }
 
 func encodeGob(v interface{}) ([]byte, error) {
@@ -75,7 +77,7 @@ func masterWorkerSolo(r *cluster.Rank, in Input, opt Options, sh *shared) error 
 	t0 := r.Time()
 	r.Compute(cost.IOSec(len(in.DBData)))
 	r.NoteAlloc(int64(len(in.DBData)))
-	recs, err := sh.cache.recsFor(in.DBData)
+	recs, err := sh.cache.recsFor(fullDBKey(in), in.DBData)
 	if err != nil {
 		return err
 	}
@@ -187,7 +189,7 @@ func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	// memory" — the O(N) space per processor the paper criticizes.
 	r.Compute(cost.IOSec(len(in.DBData)))
 	r.NoteAlloc(int64(len(in.DBData)))
-	recs, err := sh.cache.recsFor(in.DBData)
+	recs, err := sh.cache.recsFor(fullDBKey(in), in.DBData)
 	if err != nil {
 		return err
 	}

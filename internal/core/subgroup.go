@@ -38,7 +38,10 @@ func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared
 	loadSec := r.Time() - t0
 
 	curRecs, curBase := l.recs, l.bases[local]
-	curRaw := l.myBytes
+	// Blocks are identical across groups (every group partitions the same
+	// database the same way), so keying by block index shares the host-side
+	// parse/digest between groups exactly as content hashing did.
+	curKey := blockKey(local, len(l.myBytes))
 	var curAlloc int64
 	var candidates int64
 	for s := 0; s < gs; s++ {
@@ -48,7 +51,7 @@ func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared
 		if opt.Masking && s+1 < gs {
 			pending = r.Get(nextOwner, dbWindow)
 		}
-		c, err := processBlock(r, l, opt, l.qs, l.lists, curRecs, contiguousGIDs(curBase, len(curRecs)), blockIDResolver(curRecs, curBase), curRaw, uint64(curBase))
+		c, err := processBlock(r, l, opt, l.qs, l.lists, curRecs, contiguousGIDs(curBase, len(curRecs)), blockIDResolver(curRecs, curBase), curKey)
 		if err != nil {
 			return err
 		}
@@ -66,12 +69,12 @@ func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared
 				r.NoteFree(curAlloc)
 			}
 			curAlloc = int64(len(data))
-			curRecs, err = l.cache.recsFor(data)
+			curKey = blockKey(nextBlock, len(data))
+			curRecs, err = l.cache.recsFor(curKey, data)
 			if err != nil {
 				return fmt.Errorf("rank %d: block from rank %d: %w", id, nextOwner, err)
 			}
 			curBase = l.bases[nextBlock]
-			curRaw = data
 		}
 	}
 	if curAlloc > 0 {

@@ -118,14 +118,32 @@ func (p Peptide) Annotated(mods []chem.Mod) string {
 // ModDeltas expands Sites into a per-residue delta slice (nil when
 // unmodified), the form consumed by theoretical spectrum generation.
 func (p Peptide) ModDeltas(mods []chem.Mod) []float64 {
+	return p.AppendModDeltas(nil, mods)
+}
+
+// AppendModDeltas is ModDeltas into a caller-owned buffer: dst is resized
+// (reusing its capacity) to len(Seq), zeroed, and filled. It still returns
+// nil for unmodified peptides — the "no deltas" signal scoring relies on —
+// so callers keep the returned slice as the buffer for the next call only
+// when it is non-nil. A warmed buffer makes the per-candidate pre-score
+// path allocation-free.
+func (p Peptide) AppendModDeltas(dst []float64, mods []chem.Mod) []float64 {
 	if len(p.Sites) == 0 {
 		return nil
 	}
-	d := make([]float64, len(p.Seq))
-	for _, s := range p.Sites {
-		d[s.Pos] += mods[s.Mod].Delta
+	n := len(p.Seq)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
 	}
-	return d
+	for _, s := range p.Sites {
+		dst[s.Pos] += mods[s.Mod].Delta
+	}
+	return dst
 }
 
 // CleavageSites returns the tryptic cut positions of seq in ascending

@@ -23,9 +23,11 @@ package score
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pepscale/internal/chem"
 	"pepscale/internal/spectrum"
+	"pepscale/internal/xhash"
 )
 
 // Config carries the shared scoring configuration.
@@ -73,8 +75,35 @@ type Query struct {
 	occupancy float64
 	// numPeaks is the count of occupied bins.
 	numPeaks int
+	// denseLo/dense mirror Binned.Bins as a dense intensity table over
+	// [MinBin, MaxBin] (NaN marks an empty bin), turning the per-fragment
+	// map probe of the scoring kernel into an array index.
+	denseLo int32
+	dense   []float64
 	// xc is the lazily built XCorr background-corrected array.
 	xc xcorr
+}
+
+// denseSpanCap bounds the dense table size; pathological spectra with a
+// wider bin span fall back to the map.
+const denseSpanCap = 1 << 20
+
+// PeakInten returns the normalized intensity at bin and whether the bin
+// holds a peak — the same answer as a Binned.Bins map lookup.
+func (q *Query) PeakInten(bin int32) (float64, bool) {
+	if q.dense != nil {
+		i := int(bin - q.denseLo)
+		if i < 0 || i >= len(q.dense) {
+			return 0, false
+		}
+		v := q.dense[i]
+		if math.IsNaN(v) {
+			return 0, false
+		}
+		return v, true
+	}
+	v, ok := q.Binned.Bins[bin]
+	return v, ok
 }
 
 // PrepareQuery conditions and bins an experimental spectrum.
@@ -89,7 +118,7 @@ func PrepareQuery(raw *spectrum.Spectrum, cfg Config) *Query {
 	if occ > 0.5 {
 		occ = 0.5
 	}
-	return &Query{
+	q := &Query{
 		ID:         raw.ID,
 		ParentMass: raw.ParentMass(),
 		Charge:     raw.Charge,
@@ -97,9 +126,25 @@ func PrepareQuery(raw *spectrum.Spectrum, cfg Config) *Query {
 		occupancy:  occ,
 		numPeaks:   len(b.Bins),
 	}
+	if span := int64(b.MaxBin) - int64(b.MinBin) + 1; span > 0 && span <= denseSpanCap {
+		q.denseLo = b.MinBin
+		q.dense = make([]float64, span)
+		for i := range q.dense {
+			q.dense[i] = math.NaN()
+		}
+		for bin, v := range b.Bins {
+			q.dense[bin-b.MinBin] = v
+		}
+	}
+	return q
 }
 
 // Scorer scores candidate peptides against prepared queries.
+//
+// Scorers carry reusable per-instance scratch buffers so that a warmed
+// Score call performs zero heap allocations per candidate. A Scorer is
+// therefore NOT safe for concurrent use; every engine rank constructs its
+// own instance (queries remain shareable).
 type Scorer interface {
 	// Name returns the model's registry name.
 	Name() string
@@ -144,46 +189,139 @@ type matchStats struct {
 	predicted int // distinct predicted bins
 }
 
-func (c Config) fragments(q *Query, pep []byte, modDeltas []float64) []spectrum.Fragment {
+// appendFragments appends the candidate's model fragments to dst: curated
+// library peaks when available, on-the-fly generation otherwise. With a
+// warm dst it performs zero allocations on the generation path (the library
+// path is rare and may allocate for the map lookup).
+func (c Config) appendFragments(dst []spectrum.Fragment, q *Query, pep []byte, modDeltas []float64) []spectrum.Fragment {
 	if c.Library != nil {
 		if s, ok := c.Library.Lookup(string(pep)); ok && len(modDeltas) == 0 {
 			// Library spectra carry curated peaks; convert to fragments of
 			// unknown series so they participate in matching. Kind/Index are
 			// synthetic (alternating series keeps factorial terms meaningful).
-			frags := make([]spectrum.Fragment, len(s.Peaks))
 			for i, p := range s.Peaks {
 				kind := spectrum.BIon
 				if i%2 == 1 {
 					kind = spectrum.YIon
 				}
-				frags[i] = spectrum.Fragment{Kind: kind, Index: i/2 + 1, Charge: 1, MZ: p.MZ}
+				dst = append(dst, spectrum.Fragment{Kind: kind, Index: i/2 + 1, Charge: 1, MZ: p.MZ})
 			}
-			return frags
+			return dst
 		}
 	}
-	return spectrum.Fragments(pep, modDeltas, q.Charge, c.Theoretical)
+	return spectrum.AppendFragments(dst, pep, modDeltas, q.Charge, c.Theoretical)
 }
 
-func match(q *Query, frags []spectrum.Fragment, width float64) matchStats {
+// binMarks is an epoch-stamped sparse membership table over fragment bins.
+// It replaces the per-call map[int32]struct{} sets of the match kernel:
+// resetting is O(1) (bump the epoch), membership is an array probe, and the
+// backing array is reused across candidates, so a warmed table performs
+// zero allocations. The table grows (amortized) to span the bin range it
+// has ever seen — bounded by the digest mass window, a few thousand bins.
+type binMarks struct {
+	epoch uint64
+	base  int32
+	stamp []uint64
+}
+
+// binMarksAlign rounds bases down to coarse boundaries so small range
+// extensions do not trigger repeated regrowth.
+const binMarksAlign = 1024
+
+// reset invalidates all marks in O(1).
+func (m *binMarks) reset() { m.epoch++ }
+
+// add marks bin and reports whether it was not yet marked this epoch.
+func (m *binMarks) add(bin int32) bool {
+	i := int(bin - m.base)
+	if i < 0 || i >= len(m.stamp) {
+		m.grow(bin)
+		i = int(bin - m.base)
+	}
+	if m.stamp[i] == m.epoch {
+		return false
+	}
+	m.stamp[i] = m.epoch
+	return true
+}
+
+// grow re-bases the table to cover bin (plus alignment headroom),
+// preserving current-epoch marks.
+func (m *binMarks) grow(bin int32) {
+	lo, hi := m.base, m.base+int32(len(m.stamp)) // current span [lo, hi)
+	if len(m.stamp) == 0 {
+		lo, hi = bin, bin
+	}
+	if bin < lo {
+		lo = bin
+	}
+	if bin >= hi {
+		hi = bin + 1
+	}
+	lo = (lo / binMarksAlign) * binMarksAlign
+	if lo > bin { // negative bins round toward zero; step down once more
+		lo -= binMarksAlign
+	}
+	n := int(hi-lo) + binMarksAlign
+	stamp := make([]uint64, n)
+	if len(m.stamp) > 0 {
+		copy(stamp[int(m.base-lo):], m.stamp)
+	}
+	m.base, m.stamp = lo, stamp
+}
+
+// scratch carries the per-Scorer reusable buffers of the scoring kernel:
+// the fragment buffer, the bin-mark tables of the match statistics, the
+// null-model shuffle buffers, and the likelihood log-term cache. One
+// instance lives inside each Scorer (ranks never share Scorers), making
+// every warmed Score call allocation-free.
+type scratch struct {
+	frags   []spectrum.Fragment
+	pred    binMarks
+	matched binMarks
+	nullPep []byte
+	nullDel []float64
+	// logR1/logR0 memoize the likelihood log-ratio terms per fragment slot
+	// within one candidate (NaN = not yet computed); see Likelihood.Score.
+	logR1 []float64
+	logR0 []float64
+}
+
+// resetLogTerms sizes the log-term caches to n slots, all unset.
+func (sc *scratch) resetLogTerms(n int) {
+	if cap(sc.logR1) < n {
+		sc.logR1 = make([]float64, n)
+		sc.logR0 = make([]float64, n)
+	}
+	sc.logR1 = sc.logR1[:n]
+	sc.logR0 = sc.logR0[:n]
+	nan := math.NaN()
+	for i := range sc.logR1 {
+		sc.logR1[i] = nan
+		sc.logR0[i] = nan
+	}
+}
+
+// match accumulates the fragment-match statistics using the epoch-stamped
+// tables; semantics are identical to the historical map-based version.
+func (sc *scratch) match(q *Query, frags []spectrum.Fragment, width float64) matchStats {
 	var st matchStats
-	seenPred := make(map[int32]struct{}, len(frags))
-	seenMatch := make(map[int32]struct{}, len(frags))
+	sc.pred.reset()
+	sc.matched.reset()
 	for _, f := range frags {
 		bin := spectrum.BinIndex(f.MZ, width)
-		if _, dup := seenPred[bin]; !dup {
-			seenPred[bin] = struct{}{}
+		if sc.pred.add(bin) {
 			st.predicted++
 		}
 		st.nFrag++
-		if inten, ok := q.Binned.Bins[bin]; ok {
+		if inten, ok := q.PeakInten(bin); ok {
 			st.dot += inten
 			if f.Kind == spectrum.BIon {
 				st.bMatched++
 			} else {
 				st.yMatched++
 			}
-			if _, dup := seenMatch[bin]; !dup {
-				seenMatch[bin] = struct{}{}
+			if sc.matched.add(bin) {
 				st.distinct++
 			}
 		}
@@ -191,19 +329,60 @@ func match(q *Query, frags []spectrum.Fragment, width float64) matchStats {
 	return st
 }
 
-// logFactorial returns ln(n!) via the log-gamma function.
+// shuffled returns the salt-th deterministic null permutation of pep (and
+// modDeltas, kept aligned) using the scratch buffers — same permutation as
+// the allocating shuffle, without the copies.
+func (sc *scratch) shuffled(pep []byte, modDeltas []float64, salt uint64) ([]byte, []float64) {
+	sc.nullPep = append(sc.nullPep[:0], pep...)
+	var deltas []float64
+	if modDeltas != nil {
+		sc.nullDel = append(sc.nullDel[:0], modDeltas...)
+		deltas = sc.nullDel
+	}
+	shuffleInPlace(sc.nullPep, deltas, pep, salt)
+	return sc.nullPep, deltas
+}
+
+// logFactTableSize bounds the memoized ln(n!) table (64 KiB). The
+// hypergeometric scorer evaluates logChoose with population-sized
+// arguments on every survival-sum term, so Lgamma dominated its profile;
+// arguments beyond the table fall back to direct evaluation.
+const logFactTableSize = 1 << 13
+
+var (
+	logFactOnce  sync.Once
+	logFactTable []float64
+)
+
+func initLogFactTable() {
+	t := make([]float64, logFactTableSize)
+	for n := 2; n < logFactTableSize; n++ {
+		lg, _ := math.Lgamma(float64(n) + 1)
+		t[n] = lg
+	}
+	logFactTable = t
+}
+
+// logFactorial returns ln(n!) via the log-gamma function; small arguments
+// come from the memoized table (each entry is the exact Lgamma value, so
+// results are bit-identical to direct evaluation).
 func logFactorial(n int) float64 {
 	if n <= 1 {
 		return 0
+	}
+	if n < logFactTableSize {
+		logFactOnce.Do(initLogFactTable)
+		return logFactTable[n]
 	}
 	lg, _ := math.Lgamma(float64(n) + 1)
 	return lg
 }
 
-// shuffle performs a deterministic in-place Fisher–Yates shuffle of a copy
-// of pep (and modDeltas, kept aligned), seeded by the peptide content and a
-// stream salt, so the "random peptide" null model is reproducible across
-// ranks and runs.
+// shuffle performs a deterministic Fisher–Yates shuffle of a copy of pep
+// (and modDeltas, kept aligned), seeded by the peptide content and a stream
+// salt, so the "random peptide" null model is reproducible across ranks and
+// runs. The hot path uses scratch.shuffled instead; this allocating form
+// serves invariant tests (NullMass).
 func shuffle(pep []byte, modDeltas []float64, salt uint64) ([]byte, []float64) {
 	out := make([]byte, len(pep))
 	copy(out, pep)
@@ -212,7 +391,15 @@ func shuffle(pep []byte, modDeltas []float64, salt uint64) ([]byte, []float64) {
 		deltas = make([]float64, len(modDeltas))
 		copy(deltas, modDeltas)
 	}
-	state := (fnv64(pep) ^ (salt * 0x9e3779b97f4a7c15)) | 1
+	shuffleInPlace(out, deltas, pep, salt)
+	return out, deltas
+}
+
+// shuffleInPlace applies the deterministic Fisher–Yates permutation to out
+// (and deltas, when non-nil), seeded by the ORIGINAL peptide bytes seed and
+// the stream salt. out must already hold a copy of the peptide.
+func shuffleInPlace(out []byte, deltas []float64, seed []byte, salt uint64) {
+	state := (xhash.Sum64(seed) ^ (salt * 0x9e3779b97f4a7c15)) | 1
 	for i := len(out) - 1; i > 0; i-- {
 		state = splitmix64(state)
 		j := int(state % uint64(i+1))
@@ -221,20 +408,6 @@ func shuffle(pep []byte, modDeltas []float64, salt uint64) ([]byte, []float64) {
 			deltas[i], deltas[j] = deltas[j], deltas[i]
 		}
 	}
-	return out, deltas
-}
-
-func fnv64(b []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime
-	}
-	return h
 }
 
 func splitmix64(x uint64) uint64 {
@@ -250,25 +423,34 @@ func splitmix64(x uint64) uint64 {
 // singly-charged b/y fragment bins that hold an observed peak. It costs a
 // small fraction of a full model evaluation.
 func QuickMatchFraction(q *Query, pep []byte, modDeltas []float64, cfg Config) float64 {
+	frac, _ := QuickMatchFractionBuf(q, pep, modDeltas, cfg, nil)
+	return frac
+}
+
+// QuickMatchFractionBuf is QuickMatchFraction with a caller-owned fragment
+// buffer: buf is truncated, filled, and returned so a scan loop can reuse
+// it across candidates without per-candidate allocations.
+func QuickMatchFractionBuf(q *Query, pep []byte, modDeltas []float64, cfg Config, buf []spectrum.Fragment) (float64, []spectrum.Fragment) {
 	opt := cfg.Theoretical
 	opt.MaxFragmentCharge = 1
-	frags := spectrum.Fragments(pep, modDeltas, 1, opt)
+	frags := spectrum.AppendFragments(buf[:0], pep, modDeltas, 1, opt)
 	if len(frags) == 0 {
-		return 0
+		return 0, frags
 	}
 	width := cfg.binWidth()
 	matched := 0
 	for _, f := range frags {
-		if _, ok := q.Binned.Bins[spectrum.BinIndex(f.MZ, width)]; ok {
+		if _, ok := q.PeakInten(spectrum.BinIndex(f.MZ, width)); ok {
 			matched++
 		}
 	}
-	return float64(matched) / float64(len(frags))
+	return float64(matched) / float64(len(frags)), frags
 }
 
 // Likelihood is the MSPolygraph-style log-likelihood-ratio scorer.
 type Likelihood struct {
 	cfg Config
+	scr scratch
 }
 
 // Name implements Scorer.
@@ -284,23 +466,75 @@ const nullShuffles = 3
 // Poisson terms.
 func (s *Likelihood) Cost() float64 { return 2.5 }
 
-// Score implements Scorer.
+// Score implements Scorer. All fragment generation and null-model shuffling
+// runs through the scratch buffers, so a warmed call allocates nothing.
+//
+// On the generation path the null shuffles permute residues but keep the
+// fragment (Kind, Index, Charge) structure — and therefore every log-ratio
+// term — identical slot-for-slot with the model pass, so the math.Log
+// results are memoized per slot across the four passes. A library lookup
+// can change the fragment structure between passes, so that (cold) path
+// keeps the direct evaluation.
 func (s *Likelihood) Score(q *Query, pep []byte, modDeltas []float64) float64 {
-	model := s.logLikelihood(q, pep, modDeltas)
+	cached := s.cfg.Library == nil
+	s.scr.frags = s.cfg.appendFragments(s.scr.frags[:0], q, pep, modDeltas)
+	var model float64
+	if cached {
+		s.scr.resetLogTerms(len(s.scr.frags))
+		model = s.logLikelihoodCached(q, s.scr.frags, len(pep))
+	} else {
+		model = s.logLikelihood(q, s.scr.frags, len(pep))
+	}
 	var null float64
 	for k := uint64(0); k < nullShuffles; k++ {
-		nullPep, nullDeltas := shuffle(pep, modDeltas, k)
-		null += s.logLikelihood(q, nullPep, nullDeltas)
+		nullPep, nullDeltas := s.scr.shuffled(pep, modDeltas, k)
+		s.scr.frags = s.cfg.appendFragments(s.scr.frags[:0], q, nullPep, nullDeltas)
+		if cached {
+			null += s.logLikelihoodCached(q, s.scr.frags, len(nullPep))
+		} else {
+			null += s.logLikelihood(q, s.scr.frags, len(nullPep))
+		}
 	}
 	return model - null/nullShuffles
+}
+
+// logLikelihoodCached is logLikelihood with the log-ratio terms memoized in
+// the scratch slot caches (primed by resetLogTerms). A term is computed on
+// first use by any pass and reused by later passes; both p1 ratios are
+// strictly positive, so NaN is unreachable as a computed value and safely
+// marks unset slots.
+func (s *Likelihood) logLikelihoodCached(q *Query, frags []spectrum.Fragment, pepLen int) float64 {
+	width := s.cfg.binWidth()
+	p0 := q.occupancy
+	var ll float64
+	for j, f := range frags {
+		bin := spectrum.BinIndex(f.MZ, width)
+		if inten, ok := q.PeakInten(bin); ok {
+			r := s.scr.logR1[j]
+			if math.IsNaN(r) {
+				p1 := 0.30 + 0.55*fragConfidence(f, pepLen)
+				r = math.Log(p1 / p0)
+				s.scr.logR1[j] = r
+			}
+			ll += (0.5 + 0.5*inten) * r
+		} else {
+			r := s.scr.logR0[j]
+			if math.IsNaN(r) {
+				p1 := 0.30 + 0.55*fragConfidence(f, pepLen)
+				r = math.Log((1 - p1) / (1 - p0))
+				s.scr.logR0[j] = r
+			}
+			ll += r
+		}
+	}
+	return ll
 }
 
 // logLikelihood evaluates ln P(spectrum | peptide) under the Poisson peak
 // model: each predicted fragment bin independently holds an observed peak
 // with probability p1 (weighted by the model intensity), while background
 // bins hold peaks with the spectrum's occupancy probability p0.
-func (s *Likelihood) logLikelihood(q *Query, pep []byte, modDeltas []float64) float64 {
-	frags := s.cfg.fragments(q, pep, modDeltas)
+func (s *Likelihood) logLikelihood(q *Query, frags []spectrum.Fragment, pepLen int) float64 {
 	width := s.cfg.binWidth()
 	p0 := q.occupancy
 	var ll float64
@@ -308,8 +542,8 @@ func (s *Likelihood) logLikelihood(q *Query, pep []byte, modDeltas []float64) fl
 		bin := spectrum.BinIndex(f.MZ, width)
 		// Model confidence that this fragment appears, from the intensity
 		// model (mid-sequence singly charged y-ions are most reliable).
-		p1 := 0.30 + 0.55*fragConfidence(f, len(pep))
-		if inten, ok := q.Binned.Bins[bin]; ok {
+		p1 := 0.30 + 0.55*fragConfidence(f, pepLen)
+		if inten, ok := q.PeakInten(bin); ok {
 			// Observed: reward scaled by observed intensity rank.
 			ll += (0.5 + 0.5*inten) * math.Log(p1/p0)
 		} else {
@@ -336,6 +570,7 @@ func fragConfidence(f spectrum.Fragment, pepLen int) float64 {
 // Hyper is the X!Tandem-style hyperscore model.
 type Hyper struct {
 	cfg Config
+	scr scratch
 }
 
 // Name implements Scorer.
@@ -347,8 +582,8 @@ func (s *Hyper) Cost() float64 { return 1.0 }
 // Score implements Scorer: ln(dot · nB! · nY!) with the factorials capped
 // (as in X!Tandem) to keep scores finite.
 func (s *Hyper) Score(q *Query, pep []byte, modDeltas []float64) float64 {
-	frags := s.cfg.fragments(q, pep, modDeltas)
-	st := match(q, frags, s.cfg.binWidth())
+	s.scr.frags = s.cfg.appendFragments(s.scr.frags[:0], q, pep, modDeltas)
+	st := s.scr.match(q, s.scr.frags, s.cfg.binWidth())
 	if st.dot <= 0 {
 		return 0
 	}
@@ -368,6 +603,7 @@ func (s *Hyper) Score(q *Query, pep []byte, modDeltas []float64) float64 {
 // predicted fragment bins by chance.
 type SharedPeaks struct {
 	cfg Config
+	scr scratch
 }
 
 // Name implements Scorer.
@@ -378,8 +614,8 @@ func (s *SharedPeaks) Cost() float64 { return 1.2 }
 
 // Score implements Scorer.
 func (s *SharedPeaks) Score(q *Query, pep []byte, modDeltas []float64) float64 {
-	frags := s.cfg.fragments(q, pep, modDeltas)
-	st := match(q, frags, s.cfg.binWidth())
+	s.scr.frags = s.cfg.appendFragments(s.scr.frags[:0], q, pep, modDeltas)
+	st := s.scr.match(q, s.scr.frags, s.cfg.binWidth())
 	if st.predicted == 0 {
 		return 0
 	}

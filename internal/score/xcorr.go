@@ -15,6 +15,7 @@ import (
 // XCorr the de-facto standard of the Sequest era.
 type XCorr struct {
 	cfg Config
+	scr scratch
 }
 
 // corrWindow is the displacement half-width (bins) of the background
@@ -29,7 +30,8 @@ func (s *XCorr) Cost() float64 { return 1.1 }
 
 // Score implements Scorer.
 func (s *XCorr) Score(q *Query, pep []byte, modDeltas []float64) float64 {
-	frags := s.cfg.fragments(q, pep, modDeltas)
+	s.scr.frags = s.cfg.appendFragments(s.scr.frags[:0], q, pep, modDeltas)
+	frags := s.scr.frags
 	if len(frags) == 0 {
 		return 0
 	}

@@ -115,10 +115,15 @@ func TestXCorrLazyBuildIsIdempotent(t *testing.T) {
 	q := makeQuery(t, truePep, 5)
 	xc, _ := New("xcorr", DefaultConfig())
 	a := xc.Score(q, []byte(truePep), nil)
-	// Score from multiple goroutines: the sync.Once build must be safe.
+	// Queries are shared across ranks while Scorers are per-rank: score the
+	// same query from multiple goroutines, each with its own scorer — the
+	// sync.Once build of q.xc must be safe and yield identical scores.
 	done := make(chan float64, 8)
 	for i := 0; i < 8; i++ {
-		go func() { done <- xc.Score(q, []byte(truePep), nil) }()
+		go func() {
+			own, _ := New("xcorr", DefaultConfig())
+			done <- own.Score(q, []byte(truePep), nil)
+		}()
 	}
 	for i := 0; i < 8; i++ {
 		if b := <-done; b != a {

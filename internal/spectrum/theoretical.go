@@ -57,9 +57,18 @@ func Mono() chem.MassType { return chem.Mono }
 // non-nil, holds a per-residue mass shift (length must equal len(pep)).
 // precursorCharge bounds the fragment charges.
 func Fragments(pep []byte, modDeltas []float64, precursorCharge int, opt TheoreticalOptions) []Fragment {
+	return AppendFragments(nil, pep, modDeltas, precursorCharge, opt)
+}
+
+// AppendFragments appends the b/y fragment ions of a peptide to dst and
+// returns the extended slice. It is the allocation-free form of Fragments:
+// once dst's capacity covers the peptide, repeated calls perform zero heap
+// allocations, which is what the per-candidate scoring kernel relies on.
+// The emitted fragments — content and order — are identical to Fragments.
+func AppendFragments(dst []Fragment, pep []byte, modDeltas []float64, precursorCharge int, opt TheoreticalOptions) []Fragment {
 	n := len(pep)
 	if n < 2 {
-		return nil
+		return dst
 	}
 	tab := chem.Table(opt.MassType)
 	water := chem.WaterMono
@@ -76,28 +85,69 @@ func Fragments(pep []byte, modDeltas []float64, precursorCharge int, opt Theoret
 	if maxZ < 1 {
 		maxZ = 1
 	}
-	// Prefix residue-mass sums including modifications.
-	prefix := make([]float64, n+1)
+	base := len(dst)
+	need := 2 * (n - 1) * maxZ
+	dst = growFragments(dst, need)
+	// Total residue mass (left-to-right, matching the prefix-sum order so
+	// results stay bit-identical to the historical prefix-array version).
+	var total float64
 	for i := 0; i < n; i++ {
 		m := tab[pep[i]]
 		if modDeltas != nil {
 			m += modDeltas[i]
 		}
-		prefix[i+1] = prefix[i] + m
+		total += m
 	}
-	total := prefix[n]
-	frags := make([]Fragment, 0, 2*(n-1)*maxZ)
+	// b-ions: forward sweep over prefix sums. b_i covers residues [0,i).
+	var prefix float64
 	for i := 1; i < n; i++ {
-		bNeutral := prefix[i]                   // b_i: residues [0,i)
-		yNeutral := total - prefix[n-i] + water // y_i: residues [n-i,n)
+		m := tab[pep[i-1]]
+		if modDeltas != nil {
+			m += modDeltas[i-1]
+		}
+		prefix += m
+		bNeutral := prefix
+		slot := base + (i-1)*2*maxZ
 		for z := 1; z <= maxZ; z++ {
-			frags = append(frags,
-				Fragment{Kind: BIon, Index: i, Charge: z, MZ: chem.MZ(bNeutral, z)},
-				Fragment{Kind: YIon, Index: i, Charge: z, MZ: chem.MZ(yNeutral, z)},
-			)
+			dst[slot] = Fragment{Kind: BIon, Index: i, Charge: z, MZ: chem.MZ(bNeutral, z)}
+			slot += 2
 		}
 	}
-	return frags
+	// y-ions: a second forward sweep fills the interleaved y slots. For
+	// k = 1..n-1 the running prefix equals prefix[k], which is the value the
+	// fragment y_{n-k} needs: y_i covers residues [n-i,n).
+	prefix = 0
+	for k := 1; k < n; k++ {
+		m := tab[pep[k-1]]
+		if modDeltas != nil {
+			m += modDeltas[k-1]
+		}
+		prefix += m
+		i := n - k
+		yNeutral := total - prefix + water
+		slot := base + (i-1)*2*maxZ + 1
+		for z := 1; z <= maxZ; z++ {
+			dst[slot] = Fragment{Kind: YIon, Index: i, Charge: z, MZ: chem.MZ(yNeutral, z)}
+			slot += 2
+		}
+	}
+	return dst
+}
+
+// growFragments extends dst by need elements, reallocating (with headroom)
+// only when capacity is exhausted.
+func growFragments(dst []Fragment, need int) []Fragment {
+	base := len(dst)
+	if cap(dst)-base < need {
+		newCap := 2 * cap(dst)
+		if newCap < base+need {
+			newCap = base + need
+		}
+		grown := make([]Fragment, base, newCap)
+		copy(grown, dst)
+		dst = grown
+	}
+	return dst[:base+need]
 }
 
 // fragmentIntensity is the sequence-averaged intensity model: y-ions are

@@ -1,0 +1,22 @@
+// Package xhash provides the 64-bit FNV-1a hash shared by the scoring
+// kernel (null-model shuffle seeding) and the engine host cache (whole-file
+// fingerprints). A single implementation keeps the two call sites
+// bit-compatible and avoids the standard library's allocating hash.Hash64
+// interface on the hot path.
+package xhash
+
+// FNV-1a 64-bit parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Sum64 returns the FNV-1a hash of b. It performs no allocations.
+func Sum64(b []byte) uint64 {
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

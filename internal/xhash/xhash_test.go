@@ -1,0 +1,30 @@
+package xhash
+
+import (
+	"hash/fnv"
+	"testing"
+	"testing/quick"
+)
+
+// TestMatchesStdlib: Sum64 must agree with hash/fnv's FNV-1a so cache keys
+// and shuffle seeds stay stable against any future stdlib-based rewrite.
+func TestMatchesStdlib(t *testing.T) {
+	f := func(b []byte) bool {
+		h := fnv.New64a()
+		h.Write(b)
+		return Sum64(b) == h.Sum64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if got := Sum64(nil); got != offset64 {
+		t.Errorf("Sum64(nil) = %#x, want offset basis", got)
+	}
+}
+
+func TestZeroAlloc(t *testing.T) {
+	buf := []byte("PEPTIDEK")
+	if n := testing.AllocsPerRun(100, func() { Sum64(buf) }); n != 0 {
+		t.Errorf("Sum64 allocates %v per run", n)
+	}
+}
