@@ -23,7 +23,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/score/... ./internal/core/...
+	$(GO) test -race ./internal/cluster/ ./internal/score/... ./internal/core/... ./internal/spectrum/... ./internal/digest/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -36,6 +36,10 @@ type loaded struct {
 	lists []*topk.List
 	// sc is the scoring model.
 	sc score.Scorer
+	// scan is the rank's persistent sweep state: buffers stay warm and the
+	// per-query scoring caches survive across the blocks of the transport
+	// loop (the query set is stable within a rank).
+	scan scanState
 	// cache is the host-side per-run index memoizer (may be nil).
 	cache *indexCache
 }
@@ -123,7 +127,7 @@ func processBlock(r *cluster.Rank, l *loaded, opt Options, qs []*score.Query, li
 	r.Compute(cost.DigestSecPerResidue * float64(fasta.TotalResidues(recs)))
 	ixBytes := indexFootprintBytes(ix)
 	r.NoteAlloc(ixBytes)
-	st := scanIndex(qs, lists, ix, l.sc, opt, idOf)
+	st := l.scan.scan(qs, lists, ix, l.sc, opt, idOf)
 	r.Compute(scanComputeSec(cost, l.sc, st))
 	r.NoteFree(ixBytes)
 	return st.Candidates, nil

@@ -10,22 +10,37 @@ import (
 )
 
 // TestScanIndexZeroAllocPerCandidate pins the allocation-free guarantee of
-// the candidate-scan inner loop. With MinScore above any achievable score
-// no hit is ever materialized, so a warmed scan — scratch buffers grown,
-// delta/fragment buffers sized — must perform zero heap allocations no
-// matter how many candidates it evaluates.
+// the peptide-major sweep. With MinScore above any achievable score no hit
+// is ever materialized, so a warmed scan on a persistent scanState — sweep
+// buffers grown, per-query caches primed — must perform zero heap
+// allocations no matter how many (peptide, query) pairs it evaluates.
 func TestScanIndexZeroAllocPerCandidate(t *testing.T) {
 	for _, scorer := range []string{"likelihood", "hyper", "sharedpeaks", "xcorr"} {
 		f := newScanFixture(t, scorer, 120, 8)
 		opt := f.opt
 		opt.MinScore = math.MaxFloat64
-		scanIndex(f.qs, f.lists, f.ix, f.sc, opt, f.idOf) // warm under this opt
+		f.scan.scan(f.qs, f.lists, f.ix, f.sc, opt, f.idOf) // warm under this opt
 		if allocs := testing.AllocsPerRun(3, func() {
-			scanIndex(f.qs, f.lists, f.ix, f.sc, opt, f.idOf)
+			f.scan.scan(f.qs, f.lists, f.ix, f.sc, opt, f.idOf)
 		}); allocs != 0 {
 			t.Errorf("%s: %v allocs per warmed scan over %d candidates, want 0",
 				scorer, allocs, f.cands)
 		}
+	}
+}
+
+// TestScanPrefilterZeroAlloc is the same guarantee with the aggressive
+// prefilter enabled, covering the shared QuickBins path of the sweep.
+func TestScanPrefilterZeroAlloc(t *testing.T) {
+	f := newScanFixture(t, "likelihood", 120, 8)
+	opt := f.opt
+	opt.Prefilter = 0.25
+	opt.MinScore = math.MaxFloat64
+	f.scan.scan(f.qs, f.lists, f.ix, f.sc, opt, f.idOf)
+	if allocs := testing.AllocsPerRun(3, func() {
+		f.scan.scan(f.qs, f.lists, f.ix, f.sc, opt, f.idOf)
+	}); allocs != 0 {
+		t.Errorf("%v allocs per warmed prefiltered scan, want 0", allocs)
 	}
 }
 

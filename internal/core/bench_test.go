@@ -21,6 +21,7 @@ type scanFixture struct {
 	qs    []*score.Query
 	lists []*topk.List
 	sc    score.Scorer
+	scan  scanState
 	opt   Options
 	idOf  func(int32) string
 	cands int64
@@ -50,9 +51,10 @@ func newScanFixture(b testing.TB, scorer string, nDB, nQ int) *scanFixture {
 		lists[i] = topk.New(opt.Tau)
 	}
 	f := &scanFixture{ix: ix, qs: qs, lists: lists, sc: sc, opt: opt, idOf: blockIDResolver(db, 0)}
-	// Warm pass: fills the top-τ lists so subsequent scans exercise the
-	// steady-state path (threshold rejections, no list growth).
-	st := scanIndex(f.qs, f.lists, f.ix, f.sc, f.opt, f.idOf)
+	// Warm pass: fills the top-τ lists and the persistent sweep state so
+	// subsequent scans exercise the steady-state path (threshold rejections,
+	// warm caches, no buffer growth).
+	st := f.scan.scan(f.qs, f.lists, f.ix, f.sc, f.opt, f.idOf)
 	f.cands = st.Candidates
 	if f.cands == 0 {
 		b.Fatal("degenerate scan fixture: zero candidates")
@@ -70,7 +72,51 @@ func BenchmarkScanKernel(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				scanIndex(f.qs, f.lists, f.ix, f.sc, f.opt, f.idOf)
+				f.scan.scan(f.qs, f.lists, f.ix, f.sc, f.opt, f.idOf)
+			}
+			b.StopTimer()
+			candPerOp := float64(f.cands)
+			b.ReportMetric(candPerOp, "cand/op")
+			b.ReportMetric(candPerOp*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+		})
+	}
+}
+
+// scanDensities are the query counts of the overlap-density sweep: more
+// queries over the same index mean more window overlap, i.e. more queries
+// sharing each prepared candidate.
+var scanDensities = []int{8, 128, 1024, 4096}
+
+// BenchmarkScanKernelBatched measures the peptide-major sweep on the
+// likelihood model across query-overlap densities.
+func BenchmarkScanKernelBatched(b *testing.B) {
+	for _, nQ := range scanDensities {
+		b.Run(fmt.Sprintf("likelihood/q=%d", nQ), func(b *testing.B) {
+			f := newScanFixture(b, "likelihood", 300, nQ)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.scan.scan(f.qs, f.lists, f.ix, f.sc, f.opt, f.idOf)
+			}
+			b.StopTimer()
+			candPerOp := float64(f.cands)
+			b.ReportMetric(candPerOp, "cand/op")
+			b.ReportMetric(candPerOp*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+		})
+	}
+}
+
+// BenchmarkScanKernelQueryMajor is the historical query-major scan on the
+// same workloads — the baseline the batched numbers are compared against in
+// EXPERIMENTS.md.
+func BenchmarkScanKernelQueryMajor(b *testing.B) {
+	for _, nQ := range scanDensities {
+		b.Run(fmt.Sprintf("likelihood/q=%d", nQ), func(b *testing.B) {
+			f := newScanFixture(b, "likelihood", 300, nQ)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scanIndexQueryMajor(f.qs, f.lists, f.ix, f.sc, f.opt, f.idOf)
 			}
 			b.StopTimer()
 			candPerOp := float64(f.cands)

@@ -441,7 +441,7 @@ func scanCandBlock(r *cluster.Rank, l *loaded, opt Options, block []candEntry, b
 	if err != nil {
 		return 0, err
 	}
-	st := scanIndex(l.qs[qFrom:qTo], l.lists[qFrom:qTo], ix, l.sc, opt, func(g int32) string {
+	st := l.scan.scan(l.qs[qFrom:qTo], l.lists[qFrom:qTo], ix, l.sc, opt, func(g int32) string {
 		if s, ok := idByGID[g]; ok {
 			return s
 		}

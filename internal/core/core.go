@@ -234,6 +234,20 @@ const prefilterCostFraction = 0.15
 // returned stats into virtual time so the same scan logic serves both the
 // engines and the pure serial reference.
 //
+// The scan is peptide-major (see scanState.scan); this wrapper runs it with
+// throwaway sweep state. Engine loops that scan repeatedly hold a persistent
+// scanState instead, which keeps the sweep allocation-free and preserves the
+// per-query scoring caches across blocks.
+func scanIndex(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
+	var ss scanState
+	return ss.scan(qs, lists, ix, sc, opt, idOf)
+}
+
+// scanIndexQueryMajor is the historical query-major scan: for each query in
+// turn, walk its candidate window and evaluate every pair independently. It
+// is retained as the bit-identical reference the property tests compare the
+// peptide-major sweep against.
+//
 // The inner loop is allocation-free per candidate: modification deltas and
 // prefilter fragments reuse scan-level buffers, and a topk.Hit (annotated
 // peptide string, protein-ID lookup) is materialized only after the raw
@@ -242,7 +256,7 @@ const prefilterCostFraction = 0.15
 // (ties fall through to Offer, whose deterministic tie-break needs the
 // materialized strings), so skipping it changes neither results nor the
 // Offered count that feeds the virtual clock.
-func scanIndex(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
+func scanIndexQueryMajor(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
 	var st scanStats
 	mods := opt.Digest.Mods
 	var deltaBuf []float64

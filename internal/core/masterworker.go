@@ -208,6 +208,7 @@ func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 
 	var candidates int64
 	var processed int
+	var scan scanState // sweep buffers stay warm across batches
 	for {
 		tag, payload := r.Recv(0)
 		if tag == tagStop {
@@ -225,7 +226,7 @@ func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 		for i := range lists {
 			lists[i] = topk.New(opt.Tau)
 		}
-		st := scanIndex(qs, lists, ix, sc, opt, idOf)
+		st := scan.scan(qs, lists, ix, sc, opt, idOf)
 		r.Compute(scanComputeSec(cost, sc, st))
 		candidates += st.Candidates
 		processed += len(qs)

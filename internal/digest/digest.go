@@ -370,6 +370,68 @@ func (ix *Index) Window(lo, hi float64) (start, end int) {
 	return start, end
 }
 
+// WindowFrom is Window for an ascending-mass sweep: hintStart/hintEnd are
+// the bounds of the previously computed window, and both lo and hi must be
+// no smaller than that window's (true for Da and ppm tolerances alike, as
+// both widen monotonically with the reference mass). The bounds gallop
+// forward from the hints, so computing all windows of a mass-sorted query
+// batch costs near-linear time instead of a binary search per query. The
+// result is exactly Window(lo, hi).
+func (ix *Index) WindowFrom(hintStart, hintEnd int, lo, hi float64) (start, end int) {
+	return ix.gallopMassGE(hintStart, lo), ix.gallopMassGT(hintEnd, hi)
+}
+
+// gallopMassGE returns the first index >= from whose mass is >= lo, under
+// the precondition that every index below from has mass < lo.
+func (ix *Index) gallopMassGE(from int, lo float64) int {
+	n := len(ix.peps)
+	if from < 0 {
+		from = 0
+	}
+	if from >= n || ix.peps[from].Mass >= lo {
+		return from
+	}
+	// Exponential gallop: find a bracket (prev, bound] with
+	// peps[prev].Mass < lo, then binary-search inside it.
+	prev, step := from, 1
+	bound := from + step
+	for bound < n && ix.peps[bound].Mass < lo {
+		prev = bound
+		step *= 2
+		bound = from + step
+	}
+	if bound > n {
+		bound = n
+	}
+	base := prev + 1
+	return base + sort.Search(bound-base, func(k int) bool { return ix.peps[base+k].Mass >= lo })
+}
+
+// gallopMassGT is gallopMassGE for the exclusive upper bound: the first
+// index >= from whose mass is > hi, under the precondition that every index
+// below from has mass <= hi.
+func (ix *Index) gallopMassGT(from int, hi float64) int {
+	n := len(ix.peps)
+	if from < 0 {
+		from = 0
+	}
+	if from >= n || ix.peps[from].Mass > hi {
+		return from
+	}
+	prev, step := from, 1
+	bound := from + step
+	for bound < n && ix.peps[bound].Mass <= hi {
+		prev = bound
+		step *= 2
+		bound = from + step
+	}
+	if bound > n {
+		bound = n
+	}
+	base := prev + 1
+	return base + sort.Search(bound-base, func(k int) bool { return ix.peps[base+k].Mass > hi })
+}
+
 // CountInWindow returns the number of candidates with mass in [lo, hi].
 func (ix *Index) CountInWindow(lo, hi float64) int {
 	s, e := ix.Window(lo, hi)

@@ -266,6 +266,40 @@ func TestIndexWindowMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestWindowFromMatchesWindow drives an ascending sweep of windows through
+// WindowFrom and checks every result against the binary-search Window — the
+// exact-equality contract the peptide-major scan relies on, including
+// touching/overlapping/disjoint consecutive windows and windows beyond both
+// ends of the index.
+func TestWindowFromMatchesWindow(t *testing.T) {
+	recs := []fasta.Record{}
+	for i := 0; i < 20; i++ {
+		recs = append(recs, fasta.Record{ID: "r", Seq: randomProtein(uint64(i)+5, 180)})
+	}
+	ix, err := NewIndex(recs, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() == 0 {
+		t.Fatal("empty index")
+	}
+	for _, step := range []float64{0.5, 3, 40, 500} {
+		for _, width := range []float64{0, 0.1, 5, 120} {
+			hs, he := 0, 0
+			for center := 100.0; center < 6000; center += step {
+				lo, hi := center-width, center+width
+				ws, we := ix.Window(lo, hi)
+				gs, ge := ix.WindowFrom(hs, he, lo, hi)
+				if gs != ws || ge != we {
+					t.Fatalf("step=%g width=%g center=%g: WindowFrom = [%d,%d), Window = [%d,%d)",
+						step, width, center, gs, ge, ws, we)
+				}
+				hs, he = gs, ge
+			}
+		}
+	}
+}
+
 func TestIndexDeterministicAcrossBlockSplit(t *testing.T) {
 	// Digesting the whole set must equal digesting two halves with
 	// adjusted protein bases (the distributed-engine invariant).

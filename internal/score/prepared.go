@@ -1,0 +1,306 @@
+// Prepared-candidate scoring: the peptide-major batch entry points.
+//
+// A query-major scan regenerates a candidate's theoretical fragments and
+// null-shuffle spectra for every (query, candidate) pair even though they
+// depend on the query only through its precursor charge. The batched API
+// inverts that: Scorer.Prepare generates the candidate's model ONCE per
+// (peptide, charge) into a CandidatePrep, and Scorer.ScorePrepared scores
+// each active query against the prepared state. Every ScorePrepared result
+// is bit-identical to the corresponding Scorer.Score call.
+package score
+
+import (
+	"math"
+
+	"pepscale/internal/spectrum"
+)
+
+// CandidatePrep holds the prepared form of one candidate at one precursor
+// charge: the theoretical fragment list of the model peptide (and, for the
+// likelihood model, of its deterministic null shuffles), the fragments'
+// precomputed bin indices, and the per-slot model confidences. All buffers
+// are recycled across candidates, so a warmed Prepare/ScorePrepared cycle
+// performs zero heap allocations. A CandidatePrep belongs to the sweep of
+// one rank and is not safe for concurrent use.
+type CandidatePrep struct {
+	pepLen int
+	charge int
+	// shared marks the generation path, where a null shuffle permutes
+	// residues but keeps the fragment (Kind, Index, Charge) slot structure
+	// of the model pass, so one confidence vector (p1) serves every pass and
+	// the per-query log-ratio terms can be memoized by peptide length. A
+	// library lookup can break slot alignment between passes, so that path
+	// stores per-pass confidences and evaluates the terms directly.
+	shared bool
+	p1     []float64
+	nPass  int
+	pass   [1 + nullShuffles]prepPass
+	// predicted is the query-independent half of the match statistics of
+	// pass 0: the count of distinct predicted fragment bins.
+	predicted int
+}
+
+// prepPass is one prepared fragment list — the model peptide or one of its
+// null shuffles — with per-slot bins and (library path) confidences.
+type prepPass struct {
+	frags []spectrum.Fragment
+	bins  []int32
+	p1    []float64
+}
+
+// fill populates the pass for (pep, deltas) at the given precursor charge,
+// reusing the pass buffers.
+func (p *prepPass) fill(cfg Config, charge int, pep []byte, deltas []float64, withP1 bool) {
+	p.frags = cfg.appendFragmentsAt(p.frags[:0], charge, pep, deltas)
+	p.bins = spectrum.AppendBinIndices(p.bins[:0], p.frags, cfg.binWidth())
+	p.p1 = p.p1[:0]
+	if withP1 {
+		p.p1 = appendConfidence(p.p1, p.frags, len(pep))
+	}
+}
+
+// appendConfidence appends each fragment slot's model confidence p1 — the
+// same expression Likelihood.Score evaluates inline.
+func appendConfidence(dst []float64, frags []spectrum.Fragment, pepLen int) []float64 {
+	for _, f := range frags {
+		dst = append(dst, 0.30+0.55*fragConfidence(f, pepLen))
+	}
+	return dst
+}
+
+// prepareSingle fills pass 0 only (the models without a null component)
+// plus the query-independent predicted-bin count.
+func (prep *CandidatePrep) prepareSingle(cfg Config, scr *scratch, pep []byte, modDeltas []float64, charge int) {
+	prep.pepLen = len(pep)
+	prep.charge = charge
+	prep.shared = false
+	prep.nPass = 1
+	prep.p1 = prep.p1[:0]
+	prep.pass[0].fill(cfg, charge, pep, modDeltas, false)
+	scr.pred.reset()
+	prep.predicted = 0
+	for _, bin := range prep.pass[0].bins {
+		if scr.pred.add(bin) {
+			prep.predicted++
+		}
+	}
+}
+
+// BatchQuery pairs a shared, immutable Query with the mutable per-sweep
+// scoring state a batched scan maintains on its behalf. Unlike the Query
+// itself, a BatchQuery is owned by one rank's sweep and is not safe for
+// concurrent use.
+//
+// For the likelihood model it memoizes the log-ratio terms by candidate
+// length: on the generation path the fragment slot structure — and with it
+// each slot's model confidence p1 — is a pure function of (peptide length,
+// slot) for a fixed precursor charge, so log(p1/p0) and log((1−p1)/(1−p0))
+// depend only on (query, length, slot) and stay valid across candidates.
+// The sweep therefore pays math.Log once per (query, length, slot) instead
+// of once per (candidate, slot).
+type BatchQuery struct {
+	// Q is the wrapped query.
+	Q *Query
+	// r1/r0 hold the memoized log-ratio terms indexed [pepLen][slot];
+	// NaN marks an unset slot (both ratios are strictly positive, so NaN is
+	// unreachable as a computed value).
+	r1 [][]float64
+	r0 [][]float64
+}
+
+// Batch wraps q for batched scoring.
+func Batch(q *Query) BatchQuery { return BatchQuery{Q: q} }
+
+// lenTerms returns the memoization slots for candidates of length pepLen
+// with n fragment slots, growing and NaN-filling the per-length tables on
+// first use. For a fixed query charge, n is a pure function of pepLen, so
+// after one sweep warm-up no further allocation occurs.
+func (bq *BatchQuery) lenTerms(pepLen, n int) (r1, r0 []float64) {
+	for len(bq.r1) <= pepLen {
+		bq.r1 = append(bq.r1, nil)
+		bq.r0 = append(bq.r0, nil)
+	}
+	if len(bq.r1[pepLen]) < n {
+		nan := math.NaN()
+		t1 := make([]float64, n)
+		t0 := make([]float64, n)
+		for i := range t1 {
+			t1[i] = nan
+			t0[i] = nan
+		}
+		copy(t1, bq.r1[pepLen])
+		copy(t0, bq.r0[pepLen])
+		bq.r1[pepLen] = t1
+		bq.r0[pepLen] = t0
+	}
+	return bq.r1[pepLen], bq.r0[pepLen]
+}
+
+// Prepare implements Scorer: the model fragments plus the nullShuffles
+// null-model fragment lists, generated once for every query of the charge.
+func (s *Likelihood) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float64, charge int) {
+	prep.pepLen = len(pep)
+	prep.charge = charge
+	prep.shared = s.cfg.Library == nil
+	prep.nPass = 1 + nullShuffles
+	prep.pass[0].fill(s.cfg, charge, pep, modDeltas, !prep.shared)
+	for k := uint64(0); k < nullShuffles; k++ {
+		nullPep, nullDeltas := s.scr.shuffled(pep, modDeltas, k)
+		prep.pass[1+k].fill(s.cfg, charge, nullPep, nullDeltas, !prep.shared)
+	}
+	prep.p1 = prep.p1[:0]
+	if prep.shared {
+		prep.p1 = appendConfidence(prep.p1, prep.pass[0].frags, len(pep))
+	}
+}
+
+// ScorePrepared implements Scorer; bit-identical to Score for the prepared
+// candidate when bq.Q's precursor charge equals the prepared charge.
+func (s *Likelihood) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
+	var model, null float64
+	if prep.shared {
+		r1, r0 := bq.lenTerms(prep.pepLen, len(prep.pass[0].frags))
+		model = likelihoodPassCached(bq.Q, &prep.pass[0], prep.p1, r1, r0)
+		for k := 1; k <= nullShuffles; k++ {
+			null += likelihoodPassCached(bq.Q, &prep.pass[k], prep.p1, r1, r0)
+		}
+	} else {
+		model = likelihoodPassDirect(bq.Q, &prep.pass[0])
+		for k := 1; k <= nullShuffles; k++ {
+			null += likelihoodPassDirect(bq.Q, &prep.pass[k])
+		}
+	}
+	return model - null/nullShuffles
+}
+
+// likelihoodPassCached accumulates one pass's log-likelihood from the
+// per-(query, length, slot) memo; identical term values and accumulation
+// order as Likelihood.logLikelihoodCached.
+func likelihoodPassCached(q *Query, p *prepPass, p1s, r1, r0 []float64) float64 {
+	p0 := q.occupancy
+	var ll float64
+	for j, bin := range p.bins {
+		if inten, ok := q.PeakInten(bin); ok {
+			r := r1[j]
+			if math.IsNaN(r) {
+				r = math.Log(p1s[j] / p0)
+				r1[j] = r
+			}
+			ll += (0.5 + 0.5*inten) * r
+		} else {
+			r := r0[j]
+			if math.IsNaN(r) {
+				r = math.Log((1 - p1s[j]) / (1 - p0))
+				r0[j] = r
+			}
+			ll += r
+		}
+	}
+	return ll
+}
+
+// likelihoodPassDirect is the uncached (library path) pass evaluation,
+// mirroring Likelihood.logLikelihood with the fragments' p1 precomputed.
+func likelihoodPassDirect(q *Query, p *prepPass) float64 {
+	p0 := q.occupancy
+	var ll float64
+	for j, bin := range p.bins {
+		p1 := p.p1[j]
+		if inten, ok := q.PeakInten(bin); ok {
+			ll += (0.5 + 0.5*inten) * math.Log(p1/p0)
+		} else {
+			ll += math.Log((1 - p1) / (1 - p0))
+		}
+	}
+	return ll
+}
+
+// matchPrepared is scratch.match over a prepared candidate: the
+// query-independent predicted-bin half comes from the prep, so only the
+// query-dependent statistics are accumulated.
+func (sc *scratch) matchPrepared(q *Query, prep *CandidatePrep) matchStats {
+	p := &prep.pass[0]
+	st := matchStats{predicted: prep.predicted, nFrag: len(p.frags)}
+	sc.matched.reset()
+	for j := range p.frags {
+		if inten, ok := q.PeakInten(p.bins[j]); ok {
+			st.dot += inten
+			if p.frags[j].Kind == spectrum.BIon {
+				st.bMatched++
+			} else {
+				st.yMatched++
+			}
+			if sc.matched.add(p.bins[j]) {
+				st.distinct++
+			}
+		}
+	}
+	return st
+}
+
+// Prepare implements Scorer.
+func (s *Hyper) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float64, charge int) {
+	prep.prepareSingle(s.cfg, &s.scr, pep, modDeltas, charge)
+}
+
+// ScorePrepared implements Scorer.
+func (s *Hyper) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
+	return hyperFromStats(s.scr.matchPrepared(bq.Q, prep))
+}
+
+// Prepare implements Scorer.
+func (s *SharedPeaks) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float64, charge int) {
+	prep.prepareSingle(s.cfg, &s.scr, pep, modDeltas, charge)
+}
+
+// ScorePrepared implements Scorer.
+func (s *SharedPeaks) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
+	return sharedPeaksFromStats(bq.Q, s.scr.matchPrepared(bq.Q, prep))
+}
+
+// Prepare implements Scorer.
+func (s *XCorr) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float64, charge int) {
+	prep.prepareSingle(s.cfg, &s.scr, pep, modDeltas, charge)
+}
+
+// ScorePrepared implements Scorer.
+func (s *XCorr) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
+	q := bq.Q
+	bins := prep.pass[0].bins
+	if len(bins) == 0 {
+		return 0
+	}
+	q.buildXCorr()
+	var sum float64
+	for _, bin := range bins {
+		sum += q.xcorrAt(bin)
+	}
+	return sum * 0.1
+}
+
+// QuickBins fills bins with the singly-charged prefilter fragment bins of
+// the candidate — the query-independent half of QuickMatchFractionBuf — so
+// a sweep can test many queries against one candidate without regenerating
+// fragments. fragBuf is the reused fragment scratch; both slices are
+// truncated, filled, and returned.
+func QuickBins(bins []int32, pep []byte, modDeltas []float64, cfg Config, fragBuf []spectrum.Fragment) ([]int32, []spectrum.Fragment) {
+	opt := cfg.Theoretical
+	opt.MaxFragmentCharge = 1
+	frags := spectrum.AppendFragments(fragBuf[:0], pep, modDeltas, 1, opt)
+	return spectrum.AppendBinIndices(bins[:0], frags, cfg.binWidth()), frags
+}
+
+// QuickMatchFromBins returns exactly QuickMatchFraction given the
+// candidate's precomputed QuickBins.
+func QuickMatchFromBins(q *Query, bins []int32) float64 {
+	if len(bins) == 0 {
+		return 0
+	}
+	matched := 0
+	for _, b := range bins {
+		if _, ok := q.PeakInten(b); ok {
+			matched++
+		}
+	}
+	return float64(matched) / float64(len(bins))
+}

@@ -1,9 +1,9 @@
 // Package score implements the statistical models that decide how well a
 // candidate peptide explains an experimental spectrum.
 //
-// Three models are provided, mirroring the model families compared by
+// Four models are provided, mirroring the model families compared by
 // Cannon et al. (J. Proteome Research 2005), the study MSPolygraph was
-// built from:
+// built from, plus the Sequest-era standard:
 //
 //   - Likelihood: the MSPolygraph-style log-likelihood-ratio score. A model
 //     spectrum is generated for the candidate and a second spectrum for a
@@ -15,6 +15,8 @@
 //     scaled by b/y match-count factorials) — the "fairly simple, fast
 //     statistical model" of the X!!Tandem comparison.
 //   - SharedPeaks: a hypergeometric shared-peak-count model.
+//   - XCorr: a Sequest-style cross-correlation against a
+//     background-corrected experimental spectrum (see xcorr.go).
 //
 // All scorers are deterministic: identical inputs yield bit-identical
 // scores on every rank of the distributed engines.
@@ -151,6 +153,14 @@ type Scorer interface {
 	// Score returns the model score for candidate pep (with optional
 	// per-residue modification deltas) against q; larger is better.
 	Score(q *Query, pep []byte, modDeltas []float64) float64
+	// Prepare generates the candidate's model state for the given precursor
+	// charge into prep (fragments, bins, null spectra, confidences) so that
+	// many queries of that charge can be scored without regenerating it.
+	Prepare(prep *CandidatePrep, pep []byte, modDeltas []float64, charge int)
+	// ScorePrepared scores bq.Q against a prepared candidate. When bq.Q's
+	// charge equals the prepared charge, the result is bit-identical to
+	// Score(bq.Q, pep, modDeltas).
+	ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64
 	// Cost returns the relative per-candidate computational weight of the
 	// model (the paper's ρ, normalized so Hyper ≈ 1). The virtual cluster
 	// charges compute time proportional to it.
@@ -194,6 +204,12 @@ type matchStats struct {
 // warm dst it performs zero allocations on the generation path (the library
 // path is rare and may allocate for the map lookup).
 func (c Config) appendFragments(dst []spectrum.Fragment, q *Query, pep []byte, modDeltas []float64) []spectrum.Fragment {
+	return c.appendFragmentsAt(dst, q.Charge, pep, modDeltas)
+}
+
+// appendFragmentsAt is appendFragments for an explicit precursor charge —
+// the query-independent form the batched Prepare path uses.
+func (c Config) appendFragmentsAt(dst []spectrum.Fragment, charge int, pep []byte, modDeltas []float64) []spectrum.Fragment {
 	if c.Library != nil {
 		if s, ok := c.Library.Lookup(string(pep)); ok && len(modDeltas) == 0 {
 			// Library spectra carry curated peaks; convert to fragments of
@@ -209,7 +225,7 @@ func (c Config) appendFragments(dst []spectrum.Fragment, q *Query, pep []byte, m
 			return dst
 		}
 	}
-	return spectrum.AppendFragments(dst, pep, modDeltas, q.Charge, c.Theoretical)
+	return spectrum.AppendFragments(dst, pep, modDeltas, charge, c.Theoretical)
 }
 
 // binMarks is an epoch-stamped sparse membership table over fragment bins.
@@ -583,7 +599,12 @@ func (s *Hyper) Cost() float64 { return 1.0 }
 // (as in X!Tandem) to keep scores finite.
 func (s *Hyper) Score(q *Query, pep []byte, modDeltas []float64) float64 {
 	s.scr.frags = s.cfg.appendFragments(s.scr.frags[:0], q, pep, modDeltas)
-	st := s.scr.match(q, s.scr.frags, s.cfg.binWidth())
+	return hyperFromStats(s.scr.match(q, s.scr.frags, s.cfg.binWidth()))
+}
+
+// hyperFromStats maps match statistics to the hyperscore; shared by the
+// query-major and prepared paths.
+func hyperFromStats(st matchStats) float64 {
 	if st.dot <= 0 {
 		return 0
 	}
@@ -615,7 +636,12 @@ func (s *SharedPeaks) Cost() float64 { return 1.2 }
 // Score implements Scorer.
 func (s *SharedPeaks) Score(q *Query, pep []byte, modDeltas []float64) float64 {
 	s.scr.frags = s.cfg.appendFragments(s.scr.frags[:0], q, pep, modDeltas)
-	st := s.scr.match(q, s.scr.frags, s.cfg.binWidth())
+	return sharedPeaksFromStats(q, s.scr.match(q, s.scr.frags, s.cfg.binWidth()))
+}
+
+// sharedPeaksFromStats maps match statistics to the hypergeometric score;
+// shared by the query-major and prepared paths.
+func sharedPeaksFromStats(q *Query, st matchStats) float64 {
 	if st.predicted == 0 {
 		return 0
 	}

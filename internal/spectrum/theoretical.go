@@ -134,6 +134,17 @@ func AppendFragments(dst []Fragment, pep []byte, modDeltas []float64, precursorC
 	return dst
 }
 
+// AppendBinIndices appends each fragment's m/z bin index to dst and
+// returns the extended slice — the precomputed form of the per-fragment
+// BinIndex calls of the scoring kernel, generated once per candidate by the
+// batched scan and reused across every query it is scored against.
+func AppendBinIndices(dst []int32, frags []Fragment, width float64) []int32 {
+	for _, f := range frags {
+		dst = append(dst, BinIndex(f.MZ, width))
+	}
+	return dst
+}
+
 // growFragments extends dst by need elements, reallocating (with headroom)
 // only when capacity is exhausted.
 func growFragments(dst []Fragment, need int) []Fragment {
