@@ -2,19 +2,31 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short bench bench-json race examples experiments quick-experiments clean
+.PHONY: all check build vet lint test test-short bench bench-json race examples experiments quick-experiments clean
 
 all: build vet test
 
-# check is the pre-merge gate: compile, vet, full tests, and the race
-# detector over the packages with rank-concurrent code paths.
-check: build vet test race
+# check is the pre-merge gate: compile, vet, lint, full tests, and the
+# race detector over every package.
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own analyzer suite (cmd/pepvet) plus staticcheck
+# and govulncheck when they are installed. pepvet enforces the
+# determinism, hot-path, and rank-safety invariants documented in
+# DESIGN.md; staticcheck/govulncheck are optional locally (the container
+# may not ship them) but CI installs and runs both.
+lint:
+	$(GO) run ./cmd/pepvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed; skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -23,7 +35,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/score/... ./internal/core/... ./internal/spectrum/... ./internal/digest/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

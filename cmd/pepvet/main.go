@@ -1,0 +1,94 @@
+// Command pepvet is the repository's invariant multichecker: it loads the
+// requested packages (default ./...) and applies the three repo-specific
+// analyzers —
+//
+//	determinism  no wall-clock / global randomness / env reads / map-order
+//	             iteration in the deterministic engine packages
+//	hotpath      no allocation-inducing constructs in //pepvet:hotpath
+//	             functions
+//	ranksafety   //pepvet:perrank values never escape their owning rank
+//
+// — printing findings as file:line:col diagnostics and exiting nonzero if
+// any survive //pepvet:allow suppression. `make lint` runs it over the whole
+// tree; the tree is expected to come out clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pepscale/internal/analysis"
+	"pepscale/internal/analysis/determinism"
+	"pepscale/internal/analysis/hotpath"
+	"pepscale/internal/analysis/ranksafety"
+)
+
+// Analyzers is the suite pepvet applies, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{determinism.Analyzer, hotpath.Analyzer, ranksafety.Analyzer}
+}
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("pepvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "change to `dir` before resolving package patterns")
+	showAllowed := fs.Bool("show-allowed", false, "also print findings suppressed by //pepvet:allow, with their reasons")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pepvet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := analysis.RunAnalyzers(pkgs, Analyzers())
+	bad := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showAllowed {
+				fmt.Fprintf(stdout, "%s: allowed [%s]: %s (reason: %s)\n", relPos(*dir, d), d.Analyzer, d.Message, d.Reason)
+			}
+			continue
+		}
+		bad++
+		fmt.Fprintf(stdout, "%s: %s [%s]\n", relPos(*dir, d), d.Message, d.Analyzer)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "pepvet: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// relPos renders a diagnostic position with the filename relative to the
+// load root, keeping output stable across checkouts.
+func relPos(dir string, d analysis.Diagnostic) string {
+	name := d.Pos.Filename
+	abs, err := filepath.Abs(dir)
+	if err == nil {
+		if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", name, d.Pos.Line, d.Pos.Column)
+}

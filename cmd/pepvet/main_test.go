@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// TestCleanTreeExitsZero runs the multichecker exactly as `make lint` does
+// and requires a clean exit on the real tree.
+func TestCleanTreeExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo run")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"-C", repoRoot(t), "./..."})
+	if code != 0 {
+		t.Fatalf("pepvet exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+// TestShowAllowedListsSuppressions checks -show-allowed surfaces the
+// recorded justifications without failing the run.
+func TestShowAllowedListsSuppressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo run")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"-C", repoRoot(t), "-show-allowed", "./..."})
+	if code != 0 {
+		t.Fatalf("pepvet exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "reason:") {
+		t.Errorf("-show-allowed printed no suppressed findings:\n%s", stdout.String())
+	}
+}
+
+// TestBadPatternExitsTwo pins the usage-error exit code.
+func TestBadPatternExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-C", t.TempDir(), "./..."}); code != 2 {
+		t.Fatalf("pepvet on an empty directory: exit = %d, want 2", code)
+	}
+}
+
+func TestAnalyzerNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

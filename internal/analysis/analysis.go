@@ -1,0 +1,320 @@
+// Package analysis is the pepvet static-analysis framework: a minimal,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// driver surface, sized for this repository's invariant checkers.
+//
+// The repo's core claims — bit-identical scores across engines, virtual-time
+// determinism in the cluster simulator, and the zero-allocations-per-candidate
+// scan kernel — are contracts that runtime tests can only sample. The
+// analyzers built on this package check them structurally at review time:
+//
+//   - determinism forbids wall-clock, global-randomness, and environment
+//     reads plus map-order iteration in the deterministic engine packages;
+//   - hotpath rejects allocation-inducing constructs inside functions
+//     annotated //pepvet:hotpath;
+//   - ranksafety keeps //pepvet:perrank values (per-rank scratch state) off
+//     package variables, channels, and foreign goroutines.
+//
+// A finding is suppressed — with a recorded justification — by a
+//
+//	//pepvet:allow <analyzer> <reason>
+//
+// comment on the offending line or the line directly above it. Directives
+// without a reason are inert and reported; directives that suppress nothing
+// are reported as unused.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pepvet:allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// AppliesTo, when non-nil, restricts which package import paths the
+	// driver runs the analyzer on. The analysistest harness bypasses it.
+	AppliesTo func(pkgPath string) bool
+	// Begin, when non-nil, runs once over the whole load before any
+	// per-package pass; its result is exposed to every pass as Pass.Global.
+	// It is how an analyzer gathers cross-package facts (e.g. which types
+	// carry a //pepvet:perrank marker) without export-data side channels.
+	Begin func(pkgs []*Package) any
+	// Run performs the per-package analysis.
+	Run func(*Pass)
+}
+
+// A Package is one parsed, type-checked package as produced by Load.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Name is the package name.
+	Name string
+	// Dir is the directory holding the package's source files.
+	Dir string
+	// Fset maps token positions; shared across the whole load.
+	Fset *token.FileSet
+	// Files holds the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's expression and object tables.
+	Info *types.Info
+}
+
+// A Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed marks findings covered by a //pepvet:allow directive;
+	// Reason carries the directive's recorded justification.
+	Suppressed bool
+	Reason     string
+}
+
+// DriverName is the pseudo-analyzer name under which the driver itself
+// reports directive hygiene problems (missing reasons, unused allows).
+const DriverName = "pepvet"
+
+// A Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Pkg       *Package
+	Fset      *token.FileSet
+	Files     []*ast.File
+	TypesInfo *types.Info
+	// Global is the analyzer's Begin result (nil if Begin is nil).
+	Global any
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// Qualifier renders type names package-locally (types from the analyzed
+// package bare, imported types as pkgname.Name).
+func (p *Pass) Qualifier() types.Qualifier { return types.RelativeTo(p.Pkg.Types) }
+
+// CalleeFunc resolves the called function or method of call, or nil for
+// indirect calls through function values, builtins, and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// CalleeBuiltin resolves call's callee as a builtin (append, make, ...) and
+// returns its name, or "".
+func CalleeBuiltin(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// CapturedVars returns the variables referenced inside lit that are declared
+// in the enclosing function outer but outside lit itself — the closure's
+// free variables, whose capture forces the closure context onto the heap.
+// Package-level variables and struct fields are not captures.
+func CapturedVars(info *types.Info, lit *ast.FuncLit, outer ast.Node) []*types.Var {
+	seen := make(map[*types.Var]bool)
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= outer.Pos() && v.Pos() < outer.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+const directivePrefix = "//pepvet:"
+
+// HasDirective reports whether any comment line of the given groups is
+// exactly the marker directive //pepvet:<name> (markers take no arguments).
+func HasDirective(name string, groups ...*ast.CommentGroup) bool {
+	want := directivePrefix + name
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if strings.TrimSpace(c.Text) == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// An allowDirective is one parsed //pepvet:allow comment.
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectAllows scans every comment of the package for allow directives.
+func collectAllows(pkg *Package) []*allowDirective {
+	var out []*allowDirective
+	for _, file := range pkg.Files {
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix+"allow")
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				// The analysistest corpus places `// want` expectations on
+				// directive lines; they are harness metadata, not reason text.
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &allowDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies the analyzers to the packages, resolves
+// //pepvet:allow suppressions, checks directive hygiene, and returns every
+// diagnostic ordered by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers)+1)
+	known[DriverName] = true
+	globals := make(map[*Analyzer]any)
+	for _, a := range analyzers {
+		known[a.Name] = true
+		if a.Begin != nil {
+			globals[a] = a.Begin(pkgs)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		ran := make(map[string]bool)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			ran[a.Name] = true
+			pass := &Pass{
+				Analyzer:  a,
+				Pkg:       pkg,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				TypesInfo: pkg.Info,
+				Global:    globals[a],
+			}
+			a.Run(pass)
+			pkgDiags = append(pkgDiags, pass.diags...)
+		}
+
+		allows := collectAllows(pkg)
+		type allowKey struct {
+			file     string
+			line     int
+			analyzer string
+		}
+		index := make(map[allowKey]*allowDirective, len(allows))
+		for _, al := range allows {
+			if al.reason != "" { // reason-less directives are inert
+				index[allowKey{al.file, al.line, al.analyzer}] = al
+			}
+		}
+		for i := range pkgDiags {
+			d := &pkgDiags[i]
+			for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+				if al, ok := index[allowKey{d.Pos.Filename, line, d.Analyzer}]; ok {
+					d.Suppressed = true
+					d.Reason = al.reason
+					al.used = true
+					break
+				}
+			}
+		}
+		diags = append(diags, pkgDiags...)
+
+		for _, al := range allows {
+			pos := token.Position{Filename: al.file, Line: al.line, Column: 1}
+			switch {
+			case al.reason == "":
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
+					Message: fmt.Sprintf("//pepvet:allow %s needs a reason; a justification-free suppression is ignored", al.analyzer)})
+			case !known[al.analyzer]:
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
+					Message: fmt.Sprintf("//pepvet:allow names unknown analyzer %q", al.analyzer)})
+			case !al.used && ran[al.analyzer]:
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
+					Message: fmt.Sprintf("unused //pepvet:allow %s directive: no finding on this or the following line", al.analyzer)})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseTestPkg builds a Package (syntax only; the driver plumbing under test
+// never consults type information) from source.
+func parseTestPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "p", Name: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+// lineStart returns the Pos of the first character of a 1-based line.
+func lineStart(pkg *Package, line int) token.Pos {
+	return pkg.Fset.File(pkg.Files[0].Pos()).LineStart(line)
+}
+
+func TestHasDirective(t *testing.T) {
+	pkg := parseTestPkg(t, `package p
+
+// scan is documented.
+//
+//pepvet:hotpath
+func scan() {}
+
+// helper mentions //pepvet:hotpath only mid-text.
+func helper() {}
+
+//pepvet:hotpath extra-args-make-it-not-a-marker
+func other() {}
+`)
+	var got []bool
+	for _, decl := range pkg.Files[0].Decls {
+		fd := decl.(*ast.FuncDecl)
+		got = append(got, HasDirective("hotpath", fd.Doc))
+	}
+	want := []bool{true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("decl %d: HasDirective = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllowSuppressionAndHygiene(t *testing.T) {
+	pkg := parseTestPkg(t, `package p
+
+//pepvet:allow demo the line below is fine for reasons
+var a = 1
+
+var b = 2 //pepvet:allow demo same-line suppression
+
+//pepvet:allow demo nothing to suppress here
+var c = 3
+
+//pepvet:allow demo
+var d = 4
+
+//pepvet:allow nosuch not a real analyzer
+var e = 5
+`)
+	demo := &Analyzer{Name: "demo", Doc: "test analyzer", Run: func(pass *Pass) {
+		pass.Reportf(lineStart(pkg, 4), "finding on a")  // allow on line above
+		pass.Reportf(lineStart(pkg, 6), "finding on b")  // allow on same line
+		pass.Reportf(lineStart(pkg, 12), "finding on d") // reason-less allow: must NOT suppress
+	}}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{demo})
+
+	byMsg := make(map[string]Diagnostic)
+	for _, d := range diags {
+		byMsg[d.Message] = d
+	}
+	if d := byMsg["finding on a"]; !d.Suppressed || d.Reason != "the line below is fine for reasons" {
+		t.Errorf("finding on a: suppressed=%v reason=%q", d.Suppressed, d.Reason)
+	}
+	if d := byMsg["finding on b"]; !d.Suppressed || d.Reason != "same-line suppression" {
+		t.Errorf("finding on b: suppressed=%v reason=%q", d.Suppressed, d.Reason)
+	}
+	if d := byMsg["finding on d"]; d.Suppressed {
+		t.Errorf("finding on d: reason-less allow must not suppress")
+	}
+
+	var hygiene []string
+	for _, d := range diags {
+		if d.Analyzer == DriverName {
+			hygiene = append(hygiene, d.Message)
+		}
+	}
+	wantSubstrings := []string{"unused //pepvet:allow demo", "needs a reason", "unknown analyzer"}
+	if len(hygiene) != len(wantSubstrings) {
+		t.Fatalf("driver diagnostics = %v, want %d of them", hygiene, len(wantSubstrings))
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, msg := range hygiene {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing driver diagnostic containing %q in %v", want, hygiene)
+		}
+	}
+}
+
+func TestAppliesToGatesAnalyzer(t *testing.T) {
+	pkg := parseTestPkg(t, "package p\n\nvar x = 1\n")
+	ran := false
+	gated := &Analyzer{
+		Name:      "gated",
+		AppliesTo: func(path string) bool { return path == "somewhere/else" },
+		Run:       func(pass *Pass) { ran = true },
+	}
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{gated}); len(diags) != 0 || ran {
+		t.Errorf("gated analyzer ran on non-matching package (ran=%v, diags=%v)", ran, diags)
+	}
+}

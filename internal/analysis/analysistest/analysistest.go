@@ -1,0 +1,105 @@
+// Package analysistest runs a pepvet analyzer over a seeded-violation
+// corpus (a testdata directory holding one package) and checks the produced
+// diagnostics against expectations embedded in the corpus itself, in the
+// style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	rand.Intn(6) // want `math/rand`
+//
+// Each `// want` comment carries one or more double-quoted regular
+// expressions; every unsuppressed diagnostic on that line must match one
+// expectation and every expectation must be matched. Lines whose finding is
+// suppressed by //pepvet:allow carry no want — so the corpus also proves the
+// suppression machinery works: a broken allow surfaces as an unexpected
+// diagnostic.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pepscale/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var patternRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one unmatched want pattern at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run loads the package in dir, applies the analyzer through the standard
+// driver (so //pepvet:allow handling is exercised), and reports mismatches
+// between diagnostics and want expectations on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	// The corpus package's path (its package name) never matches a driver
+	// package filter; run the analyzer unconditionally.
+	unfiltered := *a
+	unfiltered.AppliesTo = nil
+	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{&unfiltered})
+
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if !consume(wants, d) {
+			t.Errorf("%s:%d: unexpected diagnostic [%s]: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// consume matches d against the pending expectations on its line and marks
+// the first match spent.
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.re != nil && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.re = nil
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants scans the corpus sources line by line for want comments.
+func parseWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading corpus file: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pm := range patternRE.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(pm[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", filepath.Base(name), i+1, pm[1], err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re, raw: pm[1]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package determinism implements the pepvet analyzer that keeps
+// nondeterminism out of the packages whose outputs must be bit-identical
+// across runs, hosts, and GOMAXPROCS settings: the engine scan, the scoring
+// models, the digest index, the synthetic data generators, and the virtual
+// cluster whose clocks the experiments report.
+//
+// Within those packages it forbids
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — virtual time is
+//     the only clock an engine may observe;
+//   - the process-global math/rand generators — randomness must come from an
+//     explicitly seeded source so every rank draws a reproducible stream;
+//   - environment reads (os.Getenv, os.LookupEnv, os.Environ) — results must
+//     be a function of the inputs alone;
+//   - ranging over a map with the key or value bound — iteration order is
+//     randomized and can leak into hits, statistics, or virtual time.
+//
+// A benign occurrence (for example a map range whose keys are sorted before
+// any order-dependent use) is suppressed with
+// //pepvet:allow determinism <reason>.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pepscale/internal/analysis"
+)
+
+// Packages lists the import-path suffixes of the deterministic packages the
+// analyzer applies to when run by the pepvet driver.
+var Packages = []string{
+	"internal/cluster",
+	"internal/core",
+	"internal/digest",
+	"internal/score",
+	"internal/synth",
+}
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global randomness, environment reads, and map-order iteration in the deterministic engine packages",
+	AppliesTo: func(path string) bool {
+		for _, s := range Packages {
+			if path == s || strings.HasSuffix(path, "/"+s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCall flags calls to nondeterministic standard-library functions.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "call to time.%s: deterministic packages must use the virtual clock, never wall-clock time", name)
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (rand.New, rand.NewSource, ...) build explicitly
+		// seeded sources and are the sanctioned replacement.
+		if !strings.HasPrefix(name, "New") {
+			pass.Reportf(call.Pos(), "call to global %s.%s: draw from an explicitly seeded *rand.Rand so every rank's stream is reproducible", fn.Pkg().Path(), name)
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			pass.Reportf(call.Pos(), "call to os.%s: the environment must not influence a deterministic compute path", name)
+		}
+	}
+}
+
+// checkRange flags map iteration whose order can escape into results. A bare
+// `for range m` observes only len(m) and is allowed.
+func checkRange(pass *analysis.Pass, n *ast.RangeStmt) {
+	if n.Key == nil && n.Value == nil {
+		return
+	}
+	t := pass.TypeOf(n.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(n.Pos(), "range over map %s: iteration order is nondeterministic and may leak into hits, stats, or virtual time; iterate sorted keys instead", types.TypeString(t, pass.Qualifier()))
+	}
+}

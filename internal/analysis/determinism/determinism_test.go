@@ -1,0 +1,43 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"pepscale/internal/analysis/analysistest"
+	"pepscale/internal/analysis/determinism"
+)
+
+// TestSeededViolations runs the analyzer over the corpus: every planted
+// wall-clock, randomness, environment, and map-order violation must be
+// caught, the sanctioned patterns (seeded sources, count-only ranges) must
+// stay silent, and //pepvet:allow must suppress exactly the annotated line.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata")
+}
+
+// TestAppliesTo pins the deterministic package set: the analyzer must cover
+// the five engine packages and nothing else.
+func TestAppliesTo(t *testing.T) {
+	for _, path := range []string{
+		"pepscale/internal/cluster",
+		"pepscale/internal/core",
+		"pepscale/internal/digest",
+		"pepscale/internal/score",
+		"pepscale/internal/synth",
+	} {
+		if !determinism.Analyzer.AppliesTo(path) {
+			t.Errorf("AppliesTo(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"pepscale",
+		"pepscale/internal/topk",
+		"pepscale/internal/report",
+		"pepscale/cmd/paperbench",
+		"other/internal/coredump",
+	} {
+		if determinism.Analyzer.AppliesTo(path) {
+			t.Errorf("AppliesTo(%q) = true, want false", path)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package a is the determinism analyzer's seeded-violation corpus. Each
+// flagged line carries a `// want` expectation; the allow-suppressed lines
+// deliberately carry none, proving //pepvet:allow works.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func clock(t0 time.Time) (int64, time.Duration) {
+	now := time.Now().UnixNano() // want "call to time.Now"
+	return now, time.Since(t0)   // want "call to time.Since"
+}
+
+func draw() int {
+	return rand.Intn(10) // want "call to global math/rand.Intn"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "call to global math/rand.Shuffle"
+}
+
+// seeded sources are the sanctioned replacement: no findings below.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func env() string {
+	s, _ := os.LookupEnv("HOME") // want "call to os.LookupEnv"
+	_ = os.Getenv("PATH")        // want "call to os.Getenv"
+	return s
+}
+
+func sum(m map[string]int) int {
+	var total int
+	for k, v := range m { // want "range over map"
+		_ = k
+		total += v
+	}
+	for range m { // count-only iteration observes no order: no finding
+		total++
+	}
+	return total
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//pepvet:allow determinism keys are collected then sorted; no order escapes
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func hygiene(m map[int]int) int {
+	var total int
+	//pepvet:allow determinism // want "needs a reason"
+	for k := range m { // want "range over map" — the reason-less allow above is inert
+		total += k
+	}
+	return total
+}
+
+//pepvet:allow determinism orphaned directive with nothing to suppress // want "unused //pepvet:allow determinism"
+func clean() int { return 1 }

@@ -1,0 +1,287 @@
+// Package hotpath implements the pepvet analyzer that turns the repo's
+// runtime AllocsPerRun guards into review-time diagnostics. Functions
+// annotated
+//
+//	//pepvet:hotpath
+//
+// (the peptide-major sweep, Scorer.ScorePrepared and its pass kernels, the
+// quick-match prefilter, topk.List.Offer) sit on the per-candidate path whose
+// zero-allocations contract the benchmarks and TestScanIndexZeroAllocPerCandidate
+// pin. Inside an annotated function the analyzer rejects the constructs that
+// defeat that contract:
+//
+//   - fmt calls — formatting boxes arguments and builds strings;
+//   - string concatenation — every + on strings allocates the result;
+//   - append growth on a local slice declared without a capacity hint
+//     (appends to fields, parameters, or make(len, cap) scratch are fine);
+//   - closures that capture variables — the context escapes to the heap;
+//   - implicit conversions of non-pointer values to interface types — the
+//     value is boxed.
+//
+// When an annotated function legitimately allocates off the per-candidate
+// path (setup, error reporting), suppress with
+// //pepvet:allow hotpath <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pepscale/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "reject allocation-inducing constructs inside //pepvet:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective("hotpath", fd.Doc) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	unhinted := collectUnhintedLocals(pass, fd.Body)
+	results := resultTypes(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := analysis.CapturedVars(pass.TypesInfo, n, fd); len(caps) > 0 {
+				names := make([]string, len(caps))
+				for i, v := range caps {
+					names[i] = v.Name()
+				}
+				pass.Reportf(n.Pos(), "closure captures %s: a capturing closure allocates its context on the heap", strings.Join(names, ", "))
+				return false // one finding per closure; its body is covered by the capture
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, unhinted)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n)) && !isConstant(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates; build into a reused byte buffer instead")
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.ReturnStmt:
+			if len(results) == len(n.Results) {
+				for i, res := range n.Results {
+					reportIfaceConv(pass, res, results[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectUnhintedLocals finds local slice variables whose declaration gives
+// the runtime no capacity to grow into: `var s []T`, literal initializers,
+// and make without an explicit capacity. Appending to them in a hot loop is
+// guaranteed reallocation; appending to parameters, fields, re-sliced
+// scratch, or make(len, cap) buffers is the sanctioned pattern.
+func collectUnhintedLocals(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	unhinted := make(map[*types.Var]bool)
+	classify := func(id *ast.Ident, init ast.Expr) {
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || !isSlice(v.Type()) {
+			return
+		}
+		switch init := init.(type) {
+		case nil: // var s []T
+			unhinted[v] = true
+		case *ast.CompositeLit:
+			unhinted[v] = true
+		case *ast.CallExpr:
+			if analysis.CalleeBuiltin(pass.TypesInfo, init) == "make" && len(init.Args) < 3 {
+				unhinted[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						classify(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var init ast.Expr
+					if i < len(vs.Values) {
+						init = vs.Values[i]
+					}
+					classify(name, init)
+				}
+			}
+		}
+		return true
+	})
+	return unhinted
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, unhinted map[*types.Var]bool) {
+	if b := analysis.CalleeBuiltin(pass.TypesInfo, call); b != "" {
+		if b == "append" {
+			checkAppend(pass, call, unhinted)
+		}
+		return
+	}
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (interface boxing plus formatting); hot-path code must not format", fn.Name())
+		return // the boxed arguments are subsumed by this finding
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): flag only boxing conversions.
+		if len(call.Args) == 1 {
+			reportIfaceConv(pass, call.Args[0], tv.Type)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through unboxed
+			}
+			pt = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		reportIfaceConv(pass, arg, pt)
+	}
+}
+
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, unhinted map[*types.Var]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && unhinted[v] {
+		pass.Reportf(call.Pos(), "append grows %s, a local slice declared without a capacity hint; preallocate with make(len, cap) or reuse per-rank scratch", id.Name)
+	}
+}
+
+// checkAssign flags `s += t` on strings and interface boxing through plain
+// assignment (x = v where x has interface type and v does not).
+func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN:
+		if len(n.Lhs) == 1 && isString(pass.TypeOf(n.Lhs[0])) {
+			pass.Reportf(n.Pos(), "string concatenation allocates; build into a reused byte buffer instead")
+		}
+	case token.ASSIGN:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			reportIfaceConv(pass, n.Rhs[i], pass.TypeOf(lhs))
+		}
+	}
+}
+
+// reportIfaceConv flags the implicit conversion of expr to the interface
+// type dst when the conversion must box: pointer-shaped values (pointers,
+// channels, maps, funcs) are stored directly and stay allocation-free.
+func reportIfaceConv(pass *analysis.Pass, expr ast.Expr, dst types.Type) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	src := pass.TypeOf(expr)
+	if src == nil || !boxes(src) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "implicit conversion of %s to interface %s allocates; keep hot-path calls monomorphic",
+		types.TypeString(src, pass.Qualifier()), types.TypeString(dst, pass.Qualifier()))
+}
+
+// boxes reports whether storing a value of type t in an interface allocates.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	default:
+		return true // struct, array, slice, string-backed composites
+	}
+}
+
+func resultTypes(pass *analysis.Pass, fd *ast.FuncDecl) []types.Type {
+	if fd.Type.Results == nil {
+		return nil
+	}
+	var out []types.Type
+	for _, field := range fd.Type.Results.List {
+		t := pass.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,17 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"pepscale/internal/analysis/analysistest"
+	"pepscale/internal/analysis/hotpath"
+)
+
+// TestSeededViolations runs the analyzer over the corpus: every planted
+// formatting call, string concatenation, un-hinted append, capturing
+// closure, and interface boxing must be caught; field appends,
+// capacity-hinted scratch, capture-free closures, and unannotated functions
+// must stay silent; //pepvet:allow must suppress exactly the annotated line.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata")
+}

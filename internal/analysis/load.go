@@ -1,0 +1,218 @@
+// Package loading for the pepvet driver. The repo is stdlib-only, so the
+// loader cannot lean on golang.org/x/tools/go/packages; instead it asks the
+// go tool to enumerate packages and compile export data (`go list -export
+// -deps -json`), parses each target package's non-test sources itself, and
+// type-checks them against the export data of their dependencies through the
+// standard gc importer. The result is a fully typed syntax view of every
+// first-party package at roughly the cost of a warm `go build`.
+
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+)
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -export -deps -json` in dir over args and decodes the
+// package stream.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmdArgs := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return nil, fmt.Errorf("go list: %v\n%s", err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the importer lookup over the listing's export data.
+func exportLookup(listed []*listedPackage) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("pepvet: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// newInfo returns a types.Info with every table the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load enumerates, parses, and type-checks the non-test sources of the
+// packages matching patterns, resolved relative to dir (a directory inside a
+// Go module). Standard-library and external dependencies are imported from
+// export data, not re-analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the one package held in dir (non-test files
+// only) — the analysistest loader for seeded-violation corpora. dir must lie
+// inside a Go module so the go tool can supply export data for the corpus's
+// (standard-library) imports.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && filepath.Ext(name) == ".go" && !isTestFile(name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("pepvet: no Go files in %s", dir)
+	}
+
+	// Parse first to learn the import set, then let the go tool compile
+	// export data for exactly those dependencies.
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil && p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	var listed []*listedPackage
+	if len(importSet) > 0 {
+		args := make([]string, 0, len(importSet))
+		for p := range importSet {
+			args = append(args, p)
+		}
+		if listed, err = goList(dir, args); err != nil {
+			return nil, err
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	name := files[0].Name.Name
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("pepvet: type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		Path: name, Name: name, Dir: dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	files, err := parseFiles(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("pepvet: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path: path, Name: tpkg.Name(), Dir: dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// parseFiles parses the named files in dir with comments retained (the
+// directive and suppression machinery reads them).
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,166 @@
+// Package ranksafety implements the pepvet analyzer that enforces the
+// rank-ownership contract. Types annotated
+//
+//	//pepvet:perrank
+//
+// (Scorer scratch, score.BatchQuery, score.CandidatePrep, core's scanState,
+// cluster.Rank) are mutable state owned by exactly one virtual rank: sharing
+// an instance across goroutines breaks both memory safety and the
+// determinism of per-rank execution the paper's Algorithms A/B assume. The
+// analyzer rejects the three escape routes:
+//
+//   - storing a per-rank value (or a pointer/slice/array/chan/map of one) in
+//     a package-level variable — it would outlive and outspan its rank;
+//   - sending one on a channel — channel transport hands it to another
+//     goroutine;
+//   - handing one to a `go` statement, as an argument or a captured
+//     variable — the new goroutine is not the owning rank.
+//
+// A deliberate ownership transfer (for example the machine handing each Rank
+// to the single goroutine that runs its body) is suppressed with
+// //pepvet:allow ranksafety <reason>.
+package ranksafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pepscale/internal/analysis"
+)
+
+// Analyzer is the per-rank ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name:  "ranksafety",
+	Doc:   "keep //pepvet:perrank values off package variables, channels, and foreign goroutines",
+	Begin: collectMarked,
+	Run:   run,
+}
+
+// collectMarked gathers the //pepvet:perrank type set across every loaded
+// package, keyed "importpath.TypeName", so packages can be checked against
+// markers declared elsewhere.
+func collectMarked(pkgs []*analysis.Package) any {
+	marked := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if analysis.HasDirective("perrank", ts.Doc, gd.Doc) {
+						marked[pkg.Path+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func run(pass *analysis.Pass) {
+	marked := pass.Global.(map[string]bool)
+	if len(marked) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				if decl.Tok == token.VAR {
+					checkPackageVars(pass, decl, marked)
+				}
+			case *ast.FuncDecl:
+				if decl.Body != nil {
+					checkFunc(pass, decl, marked)
+				}
+			}
+		}
+	}
+}
+
+// checkPackageVars rejects package-level variables holding per-rank state.
+func checkPackageVars(pass *analysis.Pass, decl *ast.GenDecl, marked map[string]bool) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if tn, bad := involves(v.Type(), marked, 0); bad {
+				pass.Reportf(name.Pos(), "package-level variable %s holds per-rank type %s; per-rank state must not outlive or be shared across ranks", name.Name, tn)
+			}
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, marked map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ct, ok := pass.TypeOf(n.Chan).Underlying().(*types.Chan)
+			if !ok {
+				return true
+			}
+			if tn, bad := involves(ct.Elem(), marked, 0); bad {
+				pass.Reportf(n.Pos(), "value of per-rank type %s sent on a channel; per-rank state must stay with its owning goroutine", tn)
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if tn, bad := involves(pass.TypeOf(arg), marked, 0); bad {
+					pass.Reportf(n.Pos(), "per-rank value of type %s handed to a new goroutine", tn)
+				}
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				for _, v := range analysis.CapturedVars(pass.TypesInfo, lit, fd) {
+					if tn, bad := involves(v.Type(), marked, 0); bad {
+						pass.Reportf(n.Pos(), "goroutine closure captures %s (per-rank type %s)", v.Name(), tn)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// involves reports whether t is, points to, or is a container of a marked
+// per-rank type, returning the offending type's rendered name. It does not
+// descend into struct fields: a composite owning per-rank state (e.g. the
+// Machine owning its Ranks) is itself a legitimate owner.
+func involves(t types.Type, marked map[string]bool, depth int) (string, bool) {
+	if t == nil || depth > 8 {
+		return "", false
+	}
+	t = types.Unalias(t)
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj != nil && obj.Pkg() != nil && marked[obj.Pkg().Path()+"."+obj.Name()] {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+	case *types.Pointer:
+		return involves(t.Elem(), marked, depth+1)
+	case *types.Slice:
+		return involves(t.Elem(), marked, depth+1)
+	case *types.Array:
+		return involves(t.Elem(), marked, depth+1)
+	case *types.Chan:
+		return involves(t.Elem(), marked, depth+1)
+	case *types.Map:
+		if tn, bad := involves(t.Key(), marked, depth+1); bad {
+			return tn, true
+		}
+		return involves(t.Elem(), marked, depth+1)
+	}
+	return "", false
+}

@@ -1,0 +1,16 @@
+package ranksafety_test
+
+import (
+	"testing"
+
+	"pepscale/internal/analysis/analysistest"
+	"pepscale/internal/analysis/ranksafety"
+)
+
+// TestSeededViolations runs the analyzer over the corpus: a per-rank value
+// stored in a package variable, sent on a channel, passed to a goroutine,
+// and captured by one must all be caught; unmarked types must stay silent;
+// //pepvet:allow must suppress exactly the annotated hand-off.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, ranksafety.Analyzer, "testdata")
+}

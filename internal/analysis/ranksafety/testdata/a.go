@@ -1,0 +1,44 @@
+// Package a is the ranksafety analyzer's seeded-violation corpus: a
+// //pepvet:perrank type escaping through each of the three forbidden routes,
+// unmarked types left silent, and one //pepvet:allow ownership transfer.
+package a
+
+// scratch is one rank's private scoring state.
+//
+//pepvet:perrank
+type scratch struct{ buf []float64 }
+
+var shared scratch // want "package-level variable shared holds per-rank type a.scratch"
+
+var sharedPtrs []*scratch // want "package-level variable sharedPtrs holds per-rank type a.scratch"
+
+var count int // unmarked type: no finding
+
+func work(s *scratch) {}
+
+func spawnArg(s *scratch) {
+	go work(s) // want "per-rank value of type a.scratch handed to a new goroutine"
+}
+
+func spawnCapture() {
+	local := scratch{}
+	go func() { // want "goroutine closure captures local"
+		local.buf = nil
+	}()
+	done := make(chan struct{})
+	go func() { close(done) }() // captures only an unmarked chan: no finding
+	<-done
+}
+
+func send(ch chan scratch, s scratch) {
+	ch <- s // want "value of per-rank type a.scratch sent on a channel"
+}
+
+func sendUnmarked(ch chan int, v int) {
+	ch <- v // unmarked element type: no finding
+}
+
+func transfer(s *scratch) {
+	//pepvet:allow ranksafety deliberate hand-off: the spawned goroutine becomes the sole owner
+	go work(s)
+}

@@ -134,6 +134,7 @@ func (m *Machine) Run(body func(r *Rank) error) error {
 	var wg sync.WaitGroup
 	for _, r := range m.ranks {
 		wg.Add(1)
+		//pepvet:allow ranksafety Run is the ownership hand-off: each Rank is given to exactly one goroutine for the duration of the body
 		go func(r *Rank) {
 			defer wg.Done()
 			defer func() { r.progress.finish(r.clock) }()
@@ -220,6 +221,8 @@ type Stats struct {
 
 // Rank is one virtual processor. All methods must be called only from the
 // goroutine running this rank's body.
+//
+//pepvet:perrank
 type Rank struct {
 	m        *Machine
 	id       int
@@ -372,6 +375,7 @@ func (r *Rank) earliestPending() (int, bool) {
 	best := -1
 	var bestArrival float64
 	senders := make([]int, 0, len(r.pending))
+	//pepvet:allow determinism senders are collected then sorted; the arrival-time choice below is order-independent
 	for from, q := range r.pending {
 		if len(q) > 0 {
 			senders = append(senders, from)

@@ -54,6 +54,7 @@ func (c *Comm) Split(color, key int) *Comm {
 			groups[e.color] = append(groups[e.color], e)
 		}
 		out := map[int]*commShared{}
+		//pepvet:allow determinism per-color groups are built independently and members are sorted; no iteration order escapes
 		for color, members := range groups {
 			sort.Slice(members, func(i, j int) bool {
 				if members[i].key != members[j].key {

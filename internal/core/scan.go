@@ -64,8 +64,10 @@ func (s *massSorter) Less(i, j int) bool {
 // per-query scoring caches (score.BatchQuery) survive as long as the query
 // set does. Like a Scorer, a scanState belongs to one rank and is not safe
 // for concurrent use.
+//
+//pepvet:perrank
 type scanState struct {
-	order  []int32     // query positions in ascending (ParentMass, position)
+	order  []int32      // query positions in ascending (ParentMass, position)
 	wins   []scanWindow // per query position
 	bqs    []score.BatchQuery
 	sorter massSorter
@@ -101,6 +103,8 @@ func (ss *scanState) addActive(charge int, qi int32) {
 
 // scan runs the peptide-major sweep; see the package comment above for the
 // design and the bit-identity argument.
+//
+//pepvet:hotpath
 func (ss *scanState) scan(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
 	var st scanStats
 	n := len(qs)

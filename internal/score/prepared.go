@@ -22,6 +22,8 @@ import (
 // are recycled across candidates, so a warmed Prepare/ScorePrepared cycle
 // performs zero heap allocations. A CandidatePrep belongs to the sweep of
 // one rank and is not safe for concurrent use.
+//
+//pepvet:perrank
 type CandidatePrep struct {
 	pepLen int
 	charge int
@@ -98,6 +100,8 @@ func (prep *CandidatePrep) prepareSingle(cfg Config, scr *scratch, pep []byte, m
 // depend only on (query, length, slot) and stay valid across candidates.
 // The sweep therefore pays math.Log once per (query, length, slot) instead
 // of once per (candidate, slot).
+//
+//pepvet:perrank
 type BatchQuery struct {
 	// Q is the wrapped query.
 	Q *Query
@@ -156,6 +160,8 @@ func (s *Likelihood) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float6
 
 // ScorePrepared implements Scorer; bit-identical to Score for the prepared
 // candidate when bq.Q's precursor charge equals the prepared charge.
+//
+//pepvet:hotpath
 func (s *Likelihood) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
 	var model, null float64
 	if prep.shared {
@@ -176,6 +182,8 @@ func (s *Likelihood) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 
 // likelihoodPassCached accumulates one pass's log-likelihood from the
 // per-(query, length, slot) memo; identical term values and accumulation
 // order as Likelihood.logLikelihoodCached.
+//
+//pepvet:hotpath
 func likelihoodPassCached(q *Query, p *prepPass, p1s, r1, r0 []float64) float64 {
 	p0 := q.occupancy
 	var ll float64
@@ -201,6 +209,8 @@ func likelihoodPassCached(q *Query, p *prepPass, p1s, r1, r0 []float64) float64 
 
 // likelihoodPassDirect is the uncached (library path) pass evaluation,
 // mirroring Likelihood.logLikelihood with the fragments' p1 precomputed.
+//
+//pepvet:hotpath
 func likelihoodPassDirect(q *Query, p *prepPass) float64 {
 	p0 := q.occupancy
 	var ll float64
@@ -218,6 +228,8 @@ func likelihoodPassDirect(q *Query, p *prepPass) float64 {
 // matchPrepared is scratch.match over a prepared candidate: the
 // query-independent predicted-bin half comes from the prep, so only the
 // query-dependent statistics are accumulated.
+//
+//pepvet:hotpath
 func (sc *scratch) matchPrepared(q *Query, prep *CandidatePrep) matchStats {
 	p := &prep.pass[0]
 	st := matchStats{predicted: prep.predicted, nFrag: len(p.frags)}
@@ -244,6 +256,8 @@ func (s *Hyper) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float64, ch
 }
 
 // ScorePrepared implements Scorer.
+//
+//pepvet:hotpath
 func (s *Hyper) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
 	return hyperFromStats(s.scr.matchPrepared(bq.Q, prep))
 }
@@ -254,6 +268,8 @@ func (s *SharedPeaks) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float
 }
 
 // ScorePrepared implements Scorer.
+//
+//pepvet:hotpath
 func (s *SharedPeaks) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
 	return sharedPeaksFromStats(bq.Q, s.scr.matchPrepared(bq.Q, prep))
 }
@@ -264,6 +280,8 @@ func (s *XCorr) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float64, ch
 }
 
 // ScorePrepared implements Scorer.
+//
+//pepvet:hotpath
 func (s *XCorr) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
 	q := bq.Q
 	bins := prep.pass[0].bins
@@ -283,6 +301,8 @@ func (s *XCorr) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
 // a sweep can test many queries against one candidate without regenerating
 // fragments. fragBuf is the reused fragment scratch; both slices are
 // truncated, filled, and returned.
+//
+//pepvet:hotpath
 func QuickBins(bins []int32, pep []byte, modDeltas []float64, cfg Config, fragBuf []spectrum.Fragment) ([]int32, []spectrum.Fragment) {
 	opt := cfg.Theoretical
 	opt.MaxFragmentCharge = 1
@@ -292,6 +312,8 @@ func QuickBins(bins []int32, pep []byte, modDeltas []float64, cfg Config, fragBu
 
 // QuickMatchFromBins returns exactly QuickMatchFraction given the
 // candidate's precomputed QuickBins.
+//
+//pepvet:hotpath
 func QuickMatchFromBins(q *Query, bins []int32) float64 {
 	if len(bins) == 0 {
 		return 0

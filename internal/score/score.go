@@ -134,6 +134,7 @@ func PrepareQuery(raw *spectrum.Spectrum, cfg Config) *Query {
 		for i := range q.dense {
 			q.dense[i] = math.NaN()
 		}
+		//pepvet:allow determinism scatter into a dense array: each map key writes its own slot, so iteration order cannot escape
 		for bin, v := range b.Bins {
 			q.dense[bin-b.MinBin] = v
 		}
@@ -291,6 +292,8 @@ func (m *binMarks) grow(bin int32) {
 // null-model shuffle buffers, and the likelihood log-term cache. One
 // instance lives inside each Scorer (ranks never share Scorers), making
 // every warmed Score call allocation-free.
+//
+//pepvet:perrank
 type scratch struct {
 	frags   []spectrum.Fragment
 	pred    binMarks

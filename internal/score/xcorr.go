@@ -66,6 +66,7 @@ func (q *Query) buildXCorr() {
 		hi := b.MaxBin + corrWindow + 1
 		n := int(hi-lo) + 1
 		dense := make([]float64, n)
+		//pepvet:allow determinism scatter into a dense array: each map key writes its own slot, so iteration order cannot escape
 		for bin, y := range b.Bins {
 			dense[bin-lo] = y
 		}

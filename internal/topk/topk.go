@@ -77,6 +77,8 @@ func (l *List) Threshold() (float64, bool) {
 }
 
 // Offer considers hit h for inclusion and reports whether it was retained.
+//
+//pepvet:hotpath
 func (l *List) Offer(h Hit) bool {
 	if l.k == 0 {
 		return false
