@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short bench bench-json race examples experiments quick-experiments clean
+.PHONY: all check build vet lint test test-short bench bench-json race chaos examples experiments quick-experiments clean
 
 all: build vet test
 
@@ -37,6 +37,14 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# chaos sweeps the fault-injection, checkpoint/restart, and recovery test
+# schedules under the race detector: every injected crash, drop, delay, and
+# straggler plan must recover to bit-identical hits without hanging.
+chaos:
+	$(GO) test -race -count=1 -run 'Fault|Crash|Detection|Dropped|Straggler|InjectedDelays|Mailbox|Reset|RunAfterAbort|Wait|Resilient|Recovery' \
+		./internal/cluster/ ./internal/core/
+	$(GO) test -race -count=1 ./internal/ckpt/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -44,7 +52,7 @@ bench:
 # quiet machine; compare against git history before committing.
 bench-json:
 	{ $(GO) test -bench 'BenchmarkScorers' -benchmem -run '^$$' . ; \
-	  $(GO) test -bench 'BenchmarkScanKernel|BenchmarkEngineHostTime' -run '^$$' ./internal/core/ ; } \
+	  $(GO) test -bench 'BenchmarkScanKernel|BenchmarkEngineHostTime|BenchmarkResilient' -run '^$$' ./internal/core/ ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
 examples:

@@ -31,6 +31,7 @@ import (
 // Packages lists the import-path suffixes of the deterministic packages the
 // analyzer applies to when run by the pepvet driver.
 var Packages = []string{
+	"internal/ckpt",
 	"internal/cluster",
 	"internal/core",
 	"internal/digest",

@@ -32,6 +32,8 @@ type Config struct {
 	// MailboxDepth bounds buffered point-to-point messages per receiver
 	// (default 4096).
 	MailboxDepth int
+	// Fault is an optional deterministic fault schedule (nil: failure-free).
+	Fault *FaultPlan
 }
 
 // Machine is a virtual distributed-memory machine. Create with New, run a
@@ -48,9 +50,32 @@ type Machine struct {
 	coll  *phaser
 	world *commShared
 
+	fault *faultState
+
 	abortOnce sync.Once
 	abort     chan struct{}
 	abortErr  error
+
+	// Failure bookkeeping behind failMu: which ranks failed (crash or
+	// exhausted transfer retries), the first failure's rank and virtual
+	// time, and whether any non-recoverable (fatal) failure occurred.
+	failMu          sync.Mutex
+	failures        map[int]error
+	firstFailedRank int
+	firstFailTime   float64
+	fatalSeen       bool
+
+	// bodyDone tracks which ranks' bodies have returned this Run, so a Wait
+	// on a not-yet-exposed window can distinguish "exposure in flight" from
+	// "owner finished without exposing".
+	bodyMu   sync.Mutex
+	bodyDone []bool
+
+	// notifyCh is a broadcast channel closed and replaced on every
+	// machine-level event a blocked Wait may be watching for (window
+	// exposure, body completion, rank failure).
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 }
 
 type windowKey struct {
@@ -83,11 +108,19 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 4096
 	}
-	m := &Machine{
-		cfg:     cfg,
-		windows: make(map[windowKey]*window),
-		abort:   make(chan struct{}),
+	if err := cfg.Fault.Validate(cfg.Ranks); err != nil {
+		return nil, err
 	}
+	m := &Machine{
+		cfg:             cfg,
+		windows:         make(map[windowKey]*window),
+		abort:           make(chan struct{}),
+		failures:        make(map[int]error),
+		firstFailedRank: -1,
+		bodyDone:        make([]bool, cfg.Ranks),
+		notifyCh:        make(chan struct{}),
+	}
+	m.fault = newFaultState(cfg.Fault, cfg.Ranks)
 	m.coll = newPhaser(cfg.Ranks)
 	worldRanks := make([]int, cfg.Ranks)
 	for i := range worldRanks {
@@ -109,50 +142,245 @@ func (m *Machine) Ranks() int { return m.cfg.Ranks }
 // Cost returns the machine's cost model.
 func (m *Machine) Cost() CostModel { return m.cfg.Cost }
 
-// doAbort records the first failure and unblocks every primitive.
+// doAbort records a fatal (non-recoverable) failure and unblocks every
+// primitive. Recoverable rank failures go through failRank instead.
 func (m *Machine) doAbort(err error) {
+	m.failMu.Lock()
+	m.fatalSeen = true
+	m.failMu.Unlock()
 	m.abortOnce.Do(func() {
 		m.abortErr = err
 		close(m.abort)
 	})
+	m.broadcast()
 }
 
-// aborted panics with ErrAborted; the panic is recovered by Run.
-func (m *Machine) aborted() {
-	panic(abortPanic{})
+// failRank records a recoverable rank failure at virtual time vtime and
+// unblocks every primitive so survivors can observe it.
+func (m *Machine) failRank(rank int, err error, vtime float64) {
+	m.failMu.Lock()
+	if _, dup := m.failures[rank]; !dup {
+		m.failures[rank] = err
+		if m.firstFailedRank < 0 {
+			m.firstFailedRank = rank
+			m.firstFailTime = vtime
+		}
+	}
+	m.failMu.Unlock()
+	m.abortOnce.Do(func() {
+		m.abortErr = err
+		close(m.abort)
+	})
+	m.broadcast()
+}
+
+// firstCrash returns the first recoverable failure's rank and virtual time.
+// It reports false when the machine is healthy or the failure is fatal
+// (fatal aborts unwind via abortPanic, not the failure-detection path).
+func (m *Machine) firstCrash() (rank int, vtime float64, ok bool) {
+	m.failMu.Lock()
+	defer m.failMu.Unlock()
+	if m.firstFailedRank >= 0 && !m.fatalSeen {
+		return m.firstFailedRank, m.firstFailTime, true
+	}
+	return 0, 0, false
+}
+
+// isFailed reports whether rank has been marked failed.
+func (m *Machine) isFailed(rank int) bool {
+	m.failMu.Lock()
+	defer m.failMu.Unlock()
+	_, ok := m.failures[rank]
+	return ok
+}
+
+// broadcast wakes every waiter blocked on machine-level state (window
+// exposure, body completion, failures).
+func (m *Machine) broadcast() {
+	m.notifyMu.Lock()
+	ch := m.notifyCh
+	m.notifyCh = make(chan struct{})
+	m.notifyMu.Unlock()
+	close(ch)
+}
+
+// notified returns a channel closed at the next machine-level event. Grab it
+// BEFORE re-checking state to avoid missed wakeups.
+func (m *Machine) notified() <-chan struct{} {
+	m.notifyMu.Lock()
+	ch := m.notifyCh
+	m.notifyMu.Unlock()
+	return ch
+}
+
+// noteBodyDone marks rank's body as returned for this Run.
+func (m *Machine) noteBodyDone(rank int) {
+	m.bodyMu.Lock()
+	m.bodyDone[rank] = true
+	m.bodyMu.Unlock()
+	m.broadcast()
+}
+
+// bodyFinished reports whether rank's body has returned this Run.
+func (m *Machine) bodyFinished(rank int) bool {
+	m.bodyMu.Lock()
+	defer m.bodyMu.Unlock()
+	return m.bodyDone[rank]
+}
+
+// detectSec returns the configured failure-detection timeout.
+func (m *Machine) detectSec() float64 {
+	if m.fault == nil {
+		return 0
+	}
+	return m.fault.plan.DetectSec
 }
 
 type abortPanic struct{}
+
+// chargeDetection advances the survivor's clock to the failure-detector
+// firing time (crash time + detection timeout), accounted as
+// synchronization wait.
+func (r *Rank) chargeDetection(crashT float64) {
+	det := crashT + r.m.detectSec()
+	if det > r.clock {
+		r.Stats.SyncWaitSec += det - r.clock
+		r.clock = det
+	}
+}
+
+// interrupted unwinds the calling rank out of a blocked primitive after the
+// machine aborted. A recoverable peer crash charges the detection timeout
+// and unwinds as failPanic (Run records ErrRankFailed for the survivor); a
+// fatal abort unwinds as abortPanic. Never returns.
+func (r *Rank) interrupted() {
+	if rank, t, ok := r.m.firstCrash(); ok {
+		r.chargeDetection(t)
+		panic(failPanic{rank: rank})
+	}
+	panic(abortPanic{})
+}
+
+// interruptedErr is interrupted for error-returning primitives (Wait): a
+// recoverable crash becomes an ErrRankFailed return; a fatal abort still
+// panics (recovered by Run).
+func (r *Rank) interruptedErr() error {
+	if rank, t, ok := r.m.firstCrash(); ok {
+		r.chargeDetection(t)
+		return ErrRankFailed{Rank: rank}
+	}
+	panic(abortPanic{})
+}
+
+// RunReport describes one Run's outcome per rank, distinguishing
+// recoverable rank failures (crashes, exhausted transfer retries) from
+// fatal aborts (body errors, unexpected panics).
+type RunReport struct {
+	// Err is the machine's first failure; nil when every rank completed.
+	Err error
+	// Fatal marks a non-recoverable failure (rank body error or panic).
+	Fatal bool
+	// FailedRanks lists failed ranks in ascending order.
+	FailedRanks []int
+	// FailureTimeSec is the virtual time of the first failure (0 if none).
+	FailureTimeSec float64
+	// RankErrs maps each rank to its outcome; completed ranks are absent.
+	// Survivors interrupted by a peer failure record ErrRankFailed.
+	RankErrs map[int]error
+}
+
+// OK reports a fully successful run.
+func (rep *RunReport) OK() bool { return rep.Err == nil }
+
+// Recoverable reports whether the run failed only through rank failures —
+// the machine state is consistent and a driver may retry on the survivors
+// (after Reset).
+func (rep *RunReport) Recoverable() bool {
+	return rep.Err != nil && !rep.Fatal && len(rep.FailedRanks) > 0
+}
 
 // Run executes body once per rank, concurrently, and waits for all ranks to
 // finish. The first error (or panic) aborts the whole machine and is
 // returned; every other rank's blocked primitive unwinds cleanly.
 //
 // Run may be called repeatedly on the same machine; clocks and statistics
-// accumulate across calls (use Reset to clear them).
+// accumulate across calls (use Reset to clear them). After a failed Run the
+// machine must be Reset before it can run again.
 func (m *Machine) Run(body func(r *Rank) error) error {
+	return m.RunWithReport(body).Err
+}
+
+// RunWithReport is Run returning the full per-rank outcome.
+func (m *Machine) RunWithReport(body func(r *Rank) error) *RunReport {
+	if m.abortErr != nil {
+		return &RunReport{
+			Err:   fmt.Errorf("cluster: machine aborted by a previous run (call Reset): %w", m.abortErr),
+			Fatal: true,
+		}
+	}
+	p := m.cfg.Ranks
+	m.bodyMu.Lock()
+	for i := range m.bodyDone {
+		m.bodyDone[i] = false
+	}
+	m.bodyMu.Unlock()
+	outcomes := make([]error, p)
 	var wg sync.WaitGroup
 	for _, r := range m.ranks {
 		wg.Add(1)
 		//pepvet:allow ranksafety Run is the ownership hand-off: each Rank is given to exactly one goroutine for the duration of the body
 		go func(r *Rank) {
 			defer wg.Done()
+			defer m.noteBodyDone(r.id)
 			defer func() { r.progress.finish(r.clock) }()
 			defer func() {
-				if rec := recover(); rec != nil {
-					if _, isAbort := rec.(abortPanic); isAbort {
-						return // unwound because another rank failed
-					}
-					m.doAbort(fmt.Errorf("cluster: rank %d panicked: %v", r.id, rec))
+				switch rec := recover().(type) {
+				case nil:
+				case abortPanic:
+					outcomes[r.id] = m.abortErr // unwound by a fatal abort
+				case failPanic:
+					outcomes[r.id] = ErrRankFailed{Rank: rec.rank}
+				case crashPanic:
+					outcomes[r.id] = rec.err // own failure, already recorded
+				default:
+					err := fmt.Errorf("cluster: rank %d panicked: %v", r.id, rec)
+					m.doAbort(err)
+					outcomes[r.id] = err
 				}
 			}()
 			if err := body(r); err != nil {
-				m.doAbort(fmt.Errorf("cluster: rank %d: %w", r.id, err))
+				var rf ErrRankFailed
+				if errors.As(err, &rf) || m.isFailed(r.id) {
+					// Recoverable failure surfaced through the body's own
+					// error return; already recorded via failRank.
+					outcomes[r.id] = err
+				} else {
+					wrapped := fmt.Errorf("cluster: rank %d: %w", r.id, err)
+					m.doAbort(wrapped)
+					outcomes[r.id] = wrapped
+				}
 			}
 		}(r)
 	}
 	wg.Wait()
-	return m.abortErr
+	rep := &RunReport{Err: m.abortErr, RankErrs: make(map[int]error, p)}
+	m.failMu.Lock()
+	for i := 0; i < p; i++ {
+		if m.failures[i] != nil {
+			rep.FailedRanks = append(rep.FailedRanks, i)
+		}
+	}
+	rep.Fatal = m.fatalSeen
+	if m.firstFailedRank >= 0 {
+		rep.FailureTimeSec = m.firstFailTime
+	}
+	m.failMu.Unlock()
+	for i, err := range outcomes {
+		if err != nil {
+			rep.RankErrs[i] = err
+		}
+	}
+	return rep
 }
 
 // Rank returns rank i's handle (for post-run stats inspection).
@@ -170,9 +398,11 @@ func (m *Machine) MaxTime() float64 {
 	return max
 }
 
-// Reset clears clocks, statistics, windows, and pending messages, leaving
-// the machine ready for a fresh Run. It must not be called concurrently
-// with Run.
+// Reset clears clocks, statistics, windows, pending messages, and failure
+// state, leaving the machine ready for a fresh Run — including after an
+// aborted one: the abort channel, collective rendezvous, and fault-plan
+// PRNG streams are all recreated, so a Reset machine replays a fault
+// schedule identically. It must not be called concurrently with Run.
 func (m *Machine) Reset() {
 	for i, r := range m.ranks {
 		r.clock = 0
@@ -191,6 +421,31 @@ func (m *Machine) Reset() {
 	m.windowMu.Lock()
 	m.windows = make(map[windowKey]*window)
 	m.windowMu.Unlock()
+	// A crashed run may have poisoned the collective rendezvous (a round
+	// with permanently missing arrivals); rebuild it and the world
+	// communicator that references it.
+	m.coll = newPhaser(m.cfg.Ranks)
+	worldRanks := make([]int, m.cfg.Ranks)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+	m.world = &commShared{ranks: worldRanks, ph: m.coll}
+	m.abortOnce = sync.Once{}
+	m.abort = make(chan struct{})
+	m.abortErr = nil
+	m.failMu.Lock()
+	m.failures = make(map[int]error)
+	m.firstFailedRank = -1
+	m.firstFailTime = 0
+	m.fatalSeen = false
+	m.failMu.Unlock()
+	m.bodyMu.Lock()
+	for i := range m.bodyDone {
+		m.bodyDone[i] = false
+	}
+	m.bodyMu.Unlock()
+	m.fault = newFaultState(m.cfg.Fault, m.cfg.Ranks)
+	m.broadcast()
 }
 
 // Stats aggregates one rank's accounting.
@@ -214,6 +469,10 @@ type Stats struct {
 	RMABytesReceived int64
 	// Messages counts point-to-point sends plus one-sided gets issued.
 	Messages int64
+	// RMARetries counts one-sided transfer reissues after injected drops;
+	// RMAFailures counts transfers abandoned after exhausting the retry
+	// budget (each of which fails the issuing rank).
+	RMARetries, RMAFailures int64
 	// ResidentBytes is the rank's current tracked allocation;
 	// MaxResidentBytes its high-water mark (the space-optimality check).
 	ResidentBytes, MaxResidentBytes int64
@@ -270,11 +529,14 @@ func (r *Rank) Time() float64 { return r.clock }
 // Cost returns the machine's cost model, for analytic compute charging.
 func (r *Rank) Cost() CostModel { return r.m.cfg.Cost }
 
-// Compute advances the virtual clock by sec seconds of computation.
+// Compute advances the virtual clock by sec seconds of computation. A
+// straggler multiplier from the machine's fault plan (if any) scales the
+// charge.
 func (r *Rank) Compute(sec float64) {
 	if sec < 0 {
 		sec = 0
 	}
+	sec *= r.stragglerFactor()
 	r.clock += sec
 	r.Stats.ComputeSec += sec
 }
@@ -315,10 +577,11 @@ func (r *Rank) Send(to int, tag string, payload []byte) {
 	if to < 0 || to >= r.Size() {
 		panic(fmt.Sprintf("cluster: rank %d Send to invalid rank %d", r.id, to))
 	}
+	r.faultPoint()
 	r.noteProgress()
 	cost := r.m.cfg.Cost
 	r.clock += cost.SendOverheadSec
-	xfer := cost.XferSec(len(payload), r.Size())
+	xfer := cost.XferSec(len(payload), r.Size()) + r.injectSendDelay(to)
 	r.Stats.TotalCommSec += cost.SendOverheadSec
 	r.Stats.BytesSent += int64(len(payload))
 	r.Stats.Messages++
@@ -326,13 +589,14 @@ func (r *Rank) Send(to int, tag string, payload []byte) {
 	select {
 	case r.m.mailbox[to] <- msg:
 	case <-r.m.abort:
-		r.m.aborted()
+		r.interrupted()
 	}
 }
 
 // Recv blocks until a message from rank `from` is available and returns its
 // tag and payload, advancing the clock to the message's arrival time.
 func (r *Rank) Recv(from int) (tag string, payload []byte) {
+	r.faultPoint()
 	r.noteProgress()
 	for {
 		if q := r.pending[from]; len(q) > 0 {
@@ -348,27 +612,29 @@ func (r *Rank) Recv(from int) (tag string, payload []byte) {
 // messages it picks the earliest virtual arrival (ties to the lowest rank)
 // to keep timing as schedule-independent as possible.
 func (r *Rank) RecvAny() (from int, tag string, payload []byte) {
+	r.faultPoint()
 	r.noteProgress()
-	// Drain anything immediately available so the arrival-time choice sees
-	// all queued messages.
 	for {
-		select {
-		case msg := <-r.m.mailbox[r.id]:
-			r.pending[msg.from] = append(r.pending[msg.from], msg)
-			continue
-		default:
+		// Drain anything immediately available so the arrival-time choice
+		// sees all queued messages.
+		for {
+			select {
+			case msg := <-r.m.mailbox[r.id]:
+				r.pending[msg.from] = append(r.pending[msg.from], msg)
+				continue
+			default:
+			}
+			break
 		}
-		break
+		if from, ok := r.earliestPending(); ok {
+			q := r.pending[from]
+			msg := q[0]
+			r.pending[from] = q[1:]
+			tag, payload = r.deliver(msg)
+			return msg.from, tag, payload
+		}
+		r.pullOne()
 	}
-	if from, ok := r.earliestPending(); ok {
-		q := r.pending[from]
-		msg := q[0]
-		r.pending[from] = q[1:]
-		tag, payload = r.deliver(msg)
-		return msg.from, tag, payload
-	}
-	r.pullOne()
-	return r.RecvAny()
 }
 
 func (r *Rank) earliestPending() (int, bool) {
@@ -396,7 +662,7 @@ func (r *Rank) pullOne() {
 	case msg := <-r.m.mailbox[r.id]:
 		r.pending[msg.from] = append(r.pending[msg.from], msg)
 	case <-r.m.abort:
-		r.m.aborted()
+		r.interrupted()
 	}
 }
 
@@ -426,9 +692,9 @@ func (r *Rank) deliver(msg message) (string, []byte) {
 // discipline); Get copies out of it without involving this rank's clock —
 // the "without disturbing the remote processor" property of MPI_Get.
 func (r *Rank) Expose(name string, data []byte) {
+	r.faultPoint()
 	r.noteProgress()
 	r.m.windowMu.Lock()
-	defer r.m.windowMu.Unlock()
 	key := windowKey{owner: r.id, name: name}
 	if w, ok := r.m.windows[key]; ok {
 		// Re-exposure replaces the data in a new epoch.
@@ -439,11 +705,15 @@ func (r *Rank) Expose(name string, data []byte) {
 		default:
 			close(w.ready)
 		}
+		r.m.windowMu.Unlock()
+		r.m.broadcast()
 		return
 	}
 	w := &window{data: data, exposeTime: r.clock, ready: make(chan struct{})}
 	close(w.ready)
 	r.m.windows[key] = w
+	r.m.windowMu.Unlock()
+	r.m.broadcast() // wake waiters blocked on this exposure
 }
 
 // Pending is an in-flight one-sided get; Wait completes it.
@@ -463,32 +733,69 @@ func (r *Rank) Get(owner int, name string) *Pending {
 	if owner < 0 || owner >= r.Size() {
 		panic(fmt.Sprintf("cluster: rank %d Get from invalid rank %d", r.id, owner))
 	}
+	r.faultPoint()
 	r.Stats.Messages++
 	return &Pending{r: r, owner: owner, name: name, issueTime: r.clock, issueCompute: r.Stats.ComputeSec}
+}
+
+// waitWindow blocks until owner's window under key exists, the owner fails
+// (ErrRankFailed), or the owner's body finishes without ever exposing it
+// (ErrNoWindow). An exposure merely still in flight is therefore waited
+// for, not an error.
+func (r *Rank) waitWindow(owner int, key windowKey) (*window, error) {
+	for {
+		ch := r.m.notified() // grab before re-checking to avoid lost wakeups
+		r.m.windowMu.Lock()
+		w, ok := r.m.windows[key]
+		r.m.windowMu.Unlock()
+		if ok {
+			return w, nil
+		}
+		if owner == r.id {
+			// A rank knows its own windows synchronously.
+			return nil, fmt.Errorf("cluster: rank %d: window %q: %w", r.id, key.name, ErrNoWindow)
+		}
+		if r.m.isFailed(owner) {
+			if _, t, ok := r.m.firstCrash(); ok {
+				r.chargeDetection(t)
+			}
+			return nil, ErrRankFailed{Rank: owner}
+		}
+		if r.m.bodyFinished(owner) {
+			return nil, fmt.Errorf("cluster: rank %d: window %q: rank %d finished without exposing it: %w", r.id, key.name, owner, ErrNoWindow)
+		}
+		select {
+		case <-ch:
+		case <-r.m.abort:
+			return nil, r.interruptedErr()
+		}
+	}
 }
 
 // Wait completes the get and returns a private copy of the window data.
 // The clock advances only by the residual (unmasked) transfer time:
 // completion = max(issueTime, exposeTime) + λ + bytes·μ, and the rank's
-// clock becomes max(clock, completion).
+// clock becomes max(clock, completion). If the window is not exposed yet,
+// Wait blocks until the owner exposes it (or fails, or finishes without
+// exposing). Injected transfer drops are retried with exponential backoff
+// charged on the virtual clock; exhausting the budget fails this rank.
 func (p *Pending) Wait() ([]byte, error) {
 	if p.done {
 		return nil, errors.New("cluster: Wait called twice on the same Pending")
 	}
 	p.done = true
 	r := p.r
+	r.faultPoint()
 	r.noteProgress()
 	key := windowKey{owner: p.owner, name: p.name}
-	r.m.windowMu.Lock()
-	w, ok := r.m.windows[key]
-	r.m.windowMu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("cluster: rank %d: no window %q exposed by rank %d", r.id, p.name, p.owner)
+	w, err := r.waitWindow(p.owner, key)
+	if err != nil {
+		return nil, err
 	}
 	select {
 	case <-w.ready:
 	case <-r.m.abort:
-		r.m.aborted()
+		return nil, r.interruptedErr()
 	}
 	r.m.windowMu.Lock()
 	data, exposeTime := w.data, w.exposeTime
@@ -501,18 +808,40 @@ func (p *Pending) Wait() ([]byte, error) {
 	blocking := r.Stats.ComputeSec == p.issueCompute
 	cost := r.m.cfg.Cost
 	xfer := cost.RMAXferSec(len(data), r.Size(), blocking)
-	completion := start + xfer
+
+	// Injected drops: every failed attempt costs a full transfer plus an
+	// exponentially growing backoff before the reissue, all charged on the
+	// virtual clock. Exhausting the budget abandons the transfer and fails
+	// the issuing rank (recoverably).
+	var retryExtra float64
+	attempts := 1
+	for r.dropTransfer(p.owner) {
+		r.Stats.RMARetries++
+		if attempts > r.m.fault.plan.maxRetries() {
+			r.Stats.RMAFailures++
+			terr := TransferError{Owner: p.owner, Window: p.name, Attempts: attempts}
+			r.clock += retryExtra + xfer
+			r.Stats.TotalCommSec += retryExtra + xfer
+			r.Stats.ResidualCommSec += retryExtra + xfer
+			r.m.failRank(r.id, ErrRankFailed{Rank: r.id, Cause: terr}, r.clock)
+			return nil, terr
+		}
+		backoff := r.m.fault.plan.retryBackoffSec(cost) * float64(int64(1)<<uint(attempts-1))
+		retryExtra += xfer + backoff
+		attempts++
+	}
+	completion := start + retryExtra + xfer
 	if cost.RMATargetProgress && p.owner != r.id {
 		// Software-emulated passive-target RMA: the request reaches the
 		// target at start+λ but is serviced only at the target's next MPI
 		// progress instant; the transfer follows. While this rank blocks
 		// here it is itself in-MPI and serviceable, with its own exit
 		// provably at or after start+xfer.
-		r.progress.enter(r.clock, start+xfer)
+		r.progress.enter(r.clock, start+retryExtra+xfer)
 		arrival := start + cost.LatencySec
-		svc := r.m.ranks[p.owner].progress.serviceTime(arrival, r.m.abort, r.m.aborted)
-		if svc+xfer > completion {
-			completion = svc + xfer
+		svc := r.m.ranks[p.owner].progress.serviceTime(arrival, r.m.abort, r.interrupted)
+		if svc+retryExtra+xfer > completion {
+			completion = svc + retryExtra + xfer
 		}
 	}
 	r.Stats.BytesReceived += int64(len(data))
@@ -521,13 +850,14 @@ func (p *Pending) Wait() ([]byte, error) {
 	if waited < 0 {
 		waited = 0
 	}
-	// The op's total cost is its transfer time or, when the target's
-	// service delay (target-progress mode) or exposure lag stretched the
-	// wait, the full unmasked wait — keeping residual ≤ total per op.
-	if waited > xfer {
+	// The op's total cost is its transfer time (including retry attempts)
+	// or, when the target's service delay (target-progress mode) or
+	// exposure lag stretched the wait, the full unmasked wait — keeping
+	// residual ≤ total per op.
+	if waited > retryExtra+xfer {
 		r.Stats.TotalCommSec += waited
 	} else {
-		r.Stats.TotalCommSec += xfer
+		r.Stats.TotalCommSec += retryExtra + xfer
 	}
 	if waited > 0 {
 		r.Stats.ResidualCommSec += waited

@@ -26,7 +26,7 @@ func (m *chMutex) lock(r *Rank) {
 	select {
 	case <-m.ch:
 	case <-r.m.abort:
-		r.m.aborted()
+		r.interrupted()
 	}
 }
 
@@ -59,6 +59,7 @@ func newRound(n int) *phRound {
 // have arrived; the last arriver evaluates fn over the rank-indexed inputs.
 // It returns fn's result and the maximum clock across participants.
 func (p *phaser) arrive(r *Rank, idx int, input interface{}, fn func(inputs []interface{}) interface{}) (interface{}, float64) {
+	r.faultPoint()
 	r.noteCollectiveEnter()
 	p.mu.lock(r)
 	rd := p.cur
@@ -94,7 +95,7 @@ func (p *phaser) arrive(r *Rank, idx int, input interface{}, fn func(inputs []in
 		select {
 		case <-rd.done:
 		case <-r.m.abort:
-			r.m.aborted()
+			r.interrupted()
 		}
 	}
 	return rd.result, rd.maxClock

@@ -131,6 +131,8 @@ type RankMetrics struct {
 	BytesSent        int64
 	BytesReceived    int64
 	RMABytesReceived int64
+	RMARetries       int64
+	RMAFailures      int64
 	MaxResidentBytes int64
 	Candidates       int64
 	Queries          int
@@ -405,6 +407,8 @@ func buildMetrics(algo string, mach *cluster.Machine, loadSec, sortSec []float64
 			BytesSent:        st.BytesSent,
 			BytesReceived:    st.BytesReceived,
 			RMABytesReceived: st.RMABytesReceived,
+			RMARetries:       st.RMARetries,
+			RMAFailures:      st.RMAFailures,
 			Messages:         st.Messages,
 			MaxResidentBytes: st.MaxResidentBytes,
 		}

@@ -94,29 +94,19 @@ func newShared(p int) *shared {
 	}
 }
 
-// Run executes a search with the selected engine on a fresh virtual
-// machine.
-func Run(algo Algorithm, cfg cluster.Config, in Input, opt Options) (*Result, error) {
-	if err := opt.Validate(); err != nil {
-		return nil, err
-	}
-	mach, err := cluster.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	sh := newShared(cfg.Ranks)
-	var body func(*cluster.Rank) error
+// engineBody resolves the selected engine's rank program.
+func engineBody(algo Algorithm, cfg cluster.Config, in Input, opt Options, sh *shared) (func(*cluster.Rank) error, error) {
 	switch algo {
 	case AlgoMasterWorker:
-		body = func(r *cluster.Rank) error { return masterWorkerBody(r, in, opt, sh) }
+		return func(r *cluster.Rank) error { return masterWorkerBody(r, in, opt, sh) }, nil
 	case AlgoA:
-		body = func(r *cluster.Rank) error { return algorithmABody(r, in, opt, true, sh) }
+		return func(r *cluster.Rank) error { return algorithmABody(r, in, opt, true, sh) }, nil
 	case AlgoANoMask:
-		body = func(r *cluster.Rank) error { return algorithmABody(r, in, opt, false, sh) }
+		return func(r *cluster.Rank) error { return algorithmABody(r, in, opt, false, sh) }, nil
 	case AlgoB:
-		body = func(r *cluster.Rank) error { return algorithmBBody(r, in, opt, sh) }
+		return func(r *cluster.Rank) error { return algorithmBBody(r, in, opt, sh) }, nil
 	case AlgoCandidate:
-		body = func(r *cluster.Rank) error { return candidateBody(r, in, opt, sh) }
+		return func(r *cluster.Rank) error { return candidateBody(r, in, opt, sh) }, nil
 	case AlgoSubGroup:
 		groups := opt.Groups
 		if groups < 1 {
@@ -125,16 +115,15 @@ func Run(algo Algorithm, cfg cluster.Config, in Input, opt Options) (*Result, er
 		if cfg.Ranks%groups != 0 {
 			return nil, fmt.Errorf("core: %d groups do not divide %d ranks", groups, cfg.Ranks)
 		}
-		body = func(r *cluster.Rank) error { return subGroupBody(r, in, opt, groups, sh) }
+		return func(r *cluster.Rank) error { return subGroupBody(r, in, opt, groups, sh) }, nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
-	if err := mach.Run(body); err != nil {
-		return nil, err
-	}
-	metrics := buildMetrics(algo.String(), mach, sh.loadSec, sh.sortSec, sh.candidates, sh.queries)
-	for _, qr := range sh.merged {
-		metrics.Hits += int64(len(qr.Hits))
-	}
-	return &Result{Queries: sh.merged, Metrics: metrics}, nil
+}
+
+// Run executes a search with the selected engine on a fresh virtual
+// machine.
+func Run(algo Algorithm, cfg cluster.Config, in Input, opt Options) (*Result, error) {
+	res, _, err := runReported(algo, cfg, in, opt)
+	return res, err
 }
