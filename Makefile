@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short bench bench-json race chaos examples experiments quick-experiments clean
+.PHONY: all check build vet lint test test-short bench bench-json race chaos fuzz-short cover examples experiments quick-experiments clean
 
 all: build vet test
 
@@ -44,6 +44,27 @@ chaos:
 	$(GO) test -race -count=1 -run 'Fault|Crash|Detection|Dropped|Straggler|InjectedDelays|Mailbox|Reset|RunAfterAbort|Wait|Resilient|Recovery' \
 		./internal/cluster/ ./internal/core/
 	$(GO) test -race -count=1 ./internal/ckpt/
+
+# fuzz-short gives every fuzz target a fixed, CI-sized budget: the codec
+# decoders (checkpoint, result/batch wire, trace JSON reader) must never
+# panic and must only accept canonical blobs. The minimize budget is capped
+# so a coverage-expanding input cannot stall the run.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzReadChrome -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeResults -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeBatch -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
+
+# cover enforces the checked-in statement-coverage floor
+# (.coverage-threshold) over the simulation and observability packages.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/cluster/ ./internal/core/ ./internal/trace/
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	min=$$(cat .coverage-threshold); \
+	echo "coverage: $$total% of statements (floor: $$min%)"; \
+	awk -v t="$$total" -v m="$$min" 'BEGIN { exit !(t+0 >= m+0) }' \
+		|| { echo "coverage $$total% is below the $$min% floor"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,8 +5,9 @@
 // Usage:
 //
 //	paperbench [-exp all|table1|table2|fig4|table3|table4|fig1a|fig1b|
-//	            masking|residual|validate|subgroup|space|candidate[,...]]
+//	            masking|residual|validate|subgroup|space|candidate|trace[,...]]
 //	           [-scale quick|default|full] [-queries N] [-csv]
+//	           [-trace run.json]
 //
 // Absolute run-times are virtual seconds under the calibrated gigabit
 // cost model; the shapes (scaling, crossovers, ablation ratios) are the
@@ -43,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tau     = flag.Int("tau", 0, "override tau (top hits per query)")
 		csv     = flag.Bool("csv", false, "also emit CSV after each table")
 		tprog   = flag.Bool("target-progress", false, "enable the software-RMA target-progress fidelity mode")
+		trpath  = flag.String("trace", "", "with -exp trace: also write the Chrome trace_event JSON here")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -69,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Opt.Tau = *tau
 	}
 	cfg.CSV = *csv
+	cfg.TracePath = *trpath
 	if *tprog {
 		cfg.Cost.RMATargetProgress = true
 	}

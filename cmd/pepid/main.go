@@ -11,6 +11,7 @@
 //	      [-scorer likelihood|hyper|sharedpeaks|xcorr] [-prefilter 0.28]
 //	      [-mods "Oxidation(M),Phospho(STY)"] [-semi] [-groups 2]
 //	      [-library lib.txt] [-decoy -fdr 0.01] [-o hits.tsv] [-metrics]
+//	      [-trace run.json] [-trace-summary]
 //
 // Without -db/-spectra, a synthetic demonstration workload is generated
 // (-synth-db N sequences, -synth-queries M spectra).
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		outPath   = flag.String("o", "", "hits TSV output path (default stdout)")
 		metrics   = flag.Bool("metrics", true, "print run metrics to stderr")
 		batchSize = flag.Int("batch", 16, "master-worker query batch size")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run (open in Perfetto)")
+		traceSum  = flag.Bool("trace-summary", false, "print the trace analysis report to stderr")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -150,10 +153,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "pepid: appended %d reversed-sequence decoys\n", len(recs))
 	}
 
-	job := pepscale.Job{Algorithm: algo, Ranks: *ranks, Options: &opt}
+	job := pepscale.Job{Algorithm: algo, Ranks: *ranks, Options: &opt, Trace: *tracePath != "" || *traceSum}
 	res, err := job.Run(db, queries)
 	if err != nil {
 		return err
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		werr := pepscale.WriteTrace(f, res.Trace)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(stderr, "pepid: wrote trace to %s\n", *tracePath)
+	}
+	if *traceSum {
+		if err := pepscale.WriteTraceSummary(stderr, res.Trace); err != nil {
+			return err
+		}
 	}
 
 	w := stdout

@@ -37,6 +37,7 @@ var Packages = []string{
 	"internal/digest",
 	"internal/score",
 	"internal/synth",
+	"internal/trace",
 }
 
 // Analyzer is the determinism checker.

@@ -1,0 +1,57 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pepscale/internal/topk"
+)
+
+// fuzzSeedGroup is a small but fully-populated checkpoint used to seed the
+// corpus alongside the committed testdata/fuzz entries.
+func fuzzSeedGroup() *Group {
+	return &Group{
+		Group:      3,
+		Cursor:     7,
+		Candidates: 12345,
+		Queries: []Query{
+			{Hits: []topk.Hit{
+				{Peptide: "PEPTIDEK", Protein: 2, ProteinID: "sp|P1", Mass: 904.47, Score: 42.5},
+				{Peptide: "MK", Protein: 0, ProteinID: "sp|P0", Mass: 277.12, Score: 1.25},
+			}},
+			{Hits: nil},
+		},
+	}
+}
+
+// FuzzDecode hammers the checkpoint decoder with arbitrary blobs: it must
+// never panic, must reject structural garbage with ErrCorrupt, and any blob
+// it does accept must re-encode canonically (Encode∘Decode is idempotent).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fuzzSeedGroup().Encode())
+	valid := fuzzSeedGroup().Encode()
+	f.Add(valid[:len(valid)-3]) // truncated tail
+	mutated := append([]byte(nil), valid...)
+	mutated[0] ^= 0xff // bad magic
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		g, err := Decode(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode error %v is not ErrCorrupt", err)
+			}
+			return
+		}
+		re := g.Encode()
+		g2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded blob does not decode: %v", err)
+		}
+		if !bytes.Equal(re, g2.Encode()) {
+			t.Fatal("Encode∘Decode is not idempotent")
+		}
+	})
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"pepscale/internal/trace"
 )
 
 // Config configures a virtual machine.
@@ -34,6 +36,10 @@ type Config struct {
 	MailboxDepth int
 	// Fault is an optional deterministic fault schedule (nil: failure-free).
 	Fault *FaultPlan
+	// Trace enables per-rank event tracing on the virtual clock (see
+	// Machine.Trace and internal/trace). Disabled tracing costs one nil
+	// check per accounting site and allocates nothing.
+	Trace bool
 }
 
 // Machine is a virtual distributed-memory machine. Create with New, run a
@@ -52,9 +58,30 @@ type Machine struct {
 
 	fault *faultState
 
+	// rec collects per-rank trace events when Config.Trace is set.
+	rec *trace.Recorder
+
+	// abort is closed only on FATAL failures (body errors, unexpected
+	// panics): every blocked primitive unwinds immediately and the run is
+	// unrecoverable. Recoverable rank failures never close it — survivors
+	// instead unwind through the deterministic stuck-rank analysis (see
+	// doomed), so the set of events a survivor records cannot depend on
+	// goroutine scheduling.
 	abortOnce sync.Once
 	abort     chan struct{}
+	errOnce   sync.Once
 	abortErr  error
+
+	// Blocked-state registry behind blockMu: which primitive each rank is
+	// parked in (blocked), plus per-pair message counters (sent/pulled,
+	// indexed to*p+from) so the stuck-rank analysis can see in-flight
+	// mailbox traffic it cannot inspect through the channel. Ranks register
+	// lazily — only once the machine carries a failure — keeping the
+	// failure-free path free of registry traffic.
+	blockMu sync.Mutex
+	blocked []blockInfo
+	sent    []int64
+	pulled  []int64
 
 	// Failure bookkeeping behind failMu: which ranks failed (crash or
 	// exhausted transfer retries), the first failure's rank and virtual
@@ -96,6 +123,27 @@ type message struct {
 	arrival float64
 }
 
+// blockKind classifies the primitive a rank is parked in.
+type blockKind uint8
+
+const (
+	blockNone   blockKind = iota
+	blockSend             // mailbox at peer is full
+	blockRecv             // waiting for a message from peer (any if peer < 0)
+	blockWindow           // waiting for peer to expose the named window
+	blockColl             // waiting at a collective rendezvous round
+)
+
+// blockInfo records what a parked rank is waiting for, feeding the
+// stuck-rank analysis that replaces racy abort unwinding.
+type blockInfo struct {
+	kind    blockKind
+	peer    int
+	name    string   // blockWindow: the window name
+	round   *phRound // blockColl: the rendezvous round (identity by pointer)
+	members []int    // blockColl: global rank ids of the round's members
+}
+
 // ErrAborted is reported when a machine operation is interrupted because
 // another rank failed.
 var ErrAborted = errors.New("cluster: machine aborted")
@@ -121,17 +169,26 @@ func New(cfg Config) (*Machine, error) {
 		notifyCh:        make(chan struct{}),
 	}
 	m.fault = newFaultState(cfg.Fault, cfg.Ranks)
-	m.coll = newPhaser(cfg.Ranks)
 	worldRanks := make([]int, cfg.Ranks)
 	for i := range worldRanks {
 		worldRanks[i] = i
 	}
+	m.coll = newPhaser(worldRanks, worldPhaserID)
 	m.world = &commShared{ranks: worldRanks, ph: m.coll}
+	m.blocked = make([]blockInfo, cfg.Ranks)
+	m.sent = make([]int64, cfg.Ranks*cfg.Ranks)
+	m.pulled = make([]int64, cfg.Ranks*cfg.Ranks)
+	if cfg.Trace {
+		m.rec = trace.NewRecorder(cfg.Ranks)
+	}
 	m.mailbox = make([]chan message, cfg.Ranks)
 	m.ranks = make([]*Rank, cfg.Ranks)
 	for i := 0; i < cfg.Ranks; i++ {
 		m.mailbox[i] = make(chan message, cfg.MailboxDepth)
 		m.ranks[i] = &Rank{m: m, id: i, pending: make(map[int][]message), progress: newProgressLog()}
+		if m.rec != nil {
+			m.ranks[i].tl = m.rec.Rank(i)
+		}
 	}
 	return m, nil
 }
@@ -148,15 +205,16 @@ func (m *Machine) doAbort(err error) {
 	m.failMu.Lock()
 	m.fatalSeen = true
 	m.failMu.Unlock()
-	m.abortOnce.Do(func() {
-		m.abortErr = err
-		close(m.abort)
-	})
+	m.errOnce.Do(func() { m.abortErr = err })
+	m.abortOnce.Do(func() { close(m.abort) })
 	m.broadcast()
 }
 
 // failRank records a recoverable rank failure at virtual time vtime and
-// unblocks every primitive so survivors can observe it.
+// wakes every blocked primitive so survivors can observe it. It does NOT
+// close the abort channel: survivors keep running until the stuck-rank
+// analysis proves they can never proceed, which keeps the failure's effect
+// on each survivor a function of virtual state alone.
 func (m *Machine) failRank(rank int, err error, vtime float64) {
 	m.failMu.Lock()
 	if _, dup := m.failures[rank]; !dup {
@@ -167,11 +225,166 @@ func (m *Machine) failRank(rank int, err error, vtime float64) {
 		}
 	}
 	m.failMu.Unlock()
-	m.abortOnce.Do(func() {
-		m.abortErr = err
-		close(m.abort)
-	})
+	m.errOnce.Do(func() { m.abortErr = err })
 	m.broadcast()
+}
+
+// hasFailure reports whether any failure (recoverable or fatal) has been
+// recorded this Run — the gate for registering blocked state.
+func (m *Machine) hasFailure() bool {
+	m.failMu.Lock()
+	defer m.failMu.Unlock()
+	return m.firstFailedRank >= 0 || m.fatalSeen
+}
+
+// setBlocked registers what rank is parked waiting for. Idempotent: only a
+// changed registration broadcasts.
+func (m *Machine) setBlocked(rank int, b blockInfo) {
+	m.blockMu.Lock()
+	cur := m.blocked[rank]
+	if cur.kind == b.kind && cur.peer == b.peer && cur.name == b.name && cur.round == b.round {
+		m.blockMu.Unlock()
+		return
+	}
+	m.blocked[rank] = b
+	m.blockMu.Unlock()
+	m.broadcast()
+}
+
+// clearBlocked removes rank's registration when it leaves a blocking
+// primitive (by completing it or by unwinding out of it).
+func (m *Machine) clearBlocked(rank int) {
+	m.blockMu.Lock()
+	if m.blocked[rank].kind == blockNone {
+		m.blockMu.Unlock()
+		return
+	}
+	m.blocked[rank] = blockInfo{}
+	m.blockMu.Unlock()
+	m.broadcast()
+}
+
+// noteSent counts a message headed for `to`'s mailbox BEFORE the channel
+// send, so the analysis over-approximates in-flight traffic (a message it
+// counts either lands or is uncounted again when the sender unwinds).
+func (m *Machine) noteSent(to, from int) {
+	m.blockMu.Lock()
+	m.sent[to*m.cfg.Ranks+from]++
+	m.blockMu.Unlock()
+}
+
+// unsend retracts a noteSent whose channel send never happened (the sender
+// unwound while parked on a full mailbox).
+func (m *Machine) unsend(to, from int) {
+	m.blockMu.Lock()
+	m.sent[to*m.cfg.Ranks+from]--
+	m.blockMu.Unlock()
+	m.broadcast()
+}
+
+// shouldUnwind reports whether rank, parked in a blocked primitive, must
+// unwind: immediately on a fatal abort, or — under a recoverable failure —
+// once the stuck-rank analysis proves it can never be unblocked.
+func (m *Machine) shouldUnwind(rank int) bool {
+	m.failMu.Lock()
+	fatal := m.fatalSeen
+	failed := m.firstFailedRank >= 0
+	m.failMu.Unlock()
+	if fatal {
+		return true
+	}
+	return failed && m.doomed(rank)
+}
+
+// doomed reports whether rank can never be unblocked by the remaining live
+// ranks. It runs a can-progress fixpoint over the blocked-state registry:
+// a rank progresses if it is running, or if the resource it waits for can
+// still be produced by a progressing rank. The evaluation is conservative —
+// transiently unregistered ranks count as running — so a true verdict is
+// stable, and every survivor reaches the same verdict at the same virtual
+// state regardless of real-time interleaving. That determinism is what
+// makes a faulted run's trace byte-identical across schedules.
+func (m *Machine) doomed(rank int) bool {
+	p := m.cfg.Ranks
+	m.blockMu.Lock()
+	blocked := append([]blockInfo(nil), m.blocked...)
+	avail := make([]bool, p*p)
+	for i := range avail {
+		avail[i] = m.sent[i] > m.pulled[i]
+	}
+	m.blockMu.Unlock()
+	m.failMu.Lock()
+	failed := make([]bool, p)
+	for i := range failed {
+		failed[i] = m.failures[i] != nil
+	}
+	m.failMu.Unlock()
+	m.bodyMu.Lock()
+	done := append([]bool(nil), m.bodyDone...)
+	m.bodyMu.Unlock()
+
+	can := make([]bool, p)
+	for i := range can {
+		can[i] = !failed[i] && !done[i] && blocked[i].kind == blockNone
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range can {
+			if can[i] || failed[i] || done[i] || blocked[i].kind == blockNone {
+				continue
+			}
+			if m.mayUnblock(i, blocked, avail, failed, done, can) {
+				can[i] = true
+				changed = true
+			}
+		}
+	}
+	return !can[rank]
+}
+
+// mayUnblock evaluates one parked rank's dependency against the current
+// can-progress set.
+func (m *Machine) mayUnblock(i int, blocked []blockInfo, avail, failed, done, can []bool) bool {
+	p := m.cfg.Ranks
+	b := blocked[i]
+	switch b.kind {
+	case blockSend:
+		// Needs the receiver to drain its mailbox.
+		return can[b.peer]
+	case blockRecv:
+		if b.peer >= 0 {
+			return avail[i*p+b.peer] || can[b.peer]
+		}
+		for j := 0; j < p; j++ {
+			if j != i && (avail[i*p+j] || can[j]) {
+				return true
+			}
+		}
+		return false
+	case blockWindow:
+		m.windowMu.Lock()
+		_, exposed := m.windows[windowKey{owner: b.peer, name: b.name}]
+		m.windowMu.Unlock()
+		// An exposed window unblocks the waiter with data; a failed or
+		// finished owner unblocks it with an error return.
+		return exposed || failed[b.peer] || done[b.peer] || can[b.peer]
+	case blockColl:
+		// The rendezvous completes only if every member that has not yet
+		// arrived at this round can still arrive.
+		for _, g := range b.members {
+			if g == i {
+				continue
+			}
+			if blocked[g].kind == blockColl && blocked[g].round == b.round {
+				continue // already arrived and parked on the same round
+			}
+			if !can[g] {
+				return false
+			}
+		}
+		return true
+	}
+	return true
 }
 
 // firstCrash returns the first recoverable failure's rank and virtual time.
@@ -241,10 +454,14 @@ type abortPanic struct{}
 // chargeDetection advances the survivor's clock to the failure-detector
 // firing time (crash time + detection timeout), accounted as
 // synchronization wait.
-func (r *Rank) chargeDetection(crashT float64) {
+func (r *Rank) chargeDetection(failed int, crashT float64) {
 	det := crashT + r.m.detectSec()
 	if det > r.clock {
-		r.Stats.SyncWaitSec += det - r.clock
+		d := det - r.clock
+		if r.tl != nil {
+			r.tl.Append(trace.Event{Kind: trace.KindDetect, Name: "fault-detect", Peer: failed, Start: r.clock, Dur: d, Delta: trace.StatDelta{SyncWaitSec: d}})
+		}
+		r.Stats.SyncWaitSec += d
 		r.clock = det
 	}
 }
@@ -255,7 +472,7 @@ func (r *Rank) chargeDetection(crashT float64) {
 // fatal abort unwinds as abortPanic. Never returns.
 func (r *Rank) interrupted() {
 	if rank, t, ok := r.m.firstCrash(); ok {
-		r.chargeDetection(t)
+		r.chargeDetection(rank, t)
 		panic(failPanic{rank: rank})
 	}
 	panic(abortPanic{})
@@ -266,7 +483,7 @@ func (r *Rank) interrupted() {
 // panics (recovered by Run).
 func (r *Rank) interruptedErr() error {
 	if rank, t, ok := r.m.firstCrash(); ok {
-		r.chargeDetection(t)
+		r.chargeDetection(rank, t)
 		return ErrRankFailed{Rank: rank}
 	}
 	panic(abortPanic{})
@@ -424,15 +641,25 @@ func (m *Machine) Reset() {
 	// A crashed run may have poisoned the collective rendezvous (a round
 	// with permanently missing arrivals); rebuild it and the world
 	// communicator that references it.
-	m.coll = newPhaser(m.cfg.Ranks)
 	worldRanks := make([]int, m.cfg.Ranks)
 	for i := range worldRanks {
 		worldRanks[i] = i
 	}
+	m.coll = newPhaser(worldRanks, worldPhaserID)
 	m.world = &commShared{ranks: worldRanks, ph: m.coll}
 	m.abortOnce = sync.Once{}
 	m.abort = make(chan struct{})
+	m.errOnce = sync.Once{}
 	m.abortErr = nil
+	m.blockMu.Lock()
+	for i := range m.blocked {
+		m.blocked[i] = blockInfo{}
+	}
+	for i := range m.sent {
+		m.sent[i] = 0
+		m.pulled[i] = 0
+	}
+	m.blockMu.Unlock()
 	m.failMu.Lock()
 	m.failures = make(map[int]error)
 	m.firstFailedRank = -1
@@ -445,6 +672,9 @@ func (m *Machine) Reset() {
 	}
 	m.bodyMu.Unlock()
 	m.fault = newFaultState(m.cfg.Fault, m.cfg.Ranks)
+	if m.rec != nil {
+		m.rec.Reset()
+	}
 	m.broadcast()
 }
 
@@ -488,6 +718,15 @@ type Rank struct {
 	clock    float64
 	pending  map[int][]message
 	progress *progressLog
+
+	// tl is the rank's trace log; nil when tracing is disabled, making
+	// every emission site a single pointer test.
+	tl *trace.RankLog
+	// lastCollPh and lastCollSeq identify the collective rendezvous round
+	// this rank most recently arrived at (stamped on the collective's
+	// trace event by syncTo).
+	lastCollPh  string
+	lastCollSeq int64
 
 	// Stats is the rank's accounting; readable after Run completes.
 	Stats Stats
@@ -537,8 +776,12 @@ func (r *Rank) Compute(sec float64) {
 		sec = 0
 	}
 	sec *= r.stragglerFactor()
+	start := r.clock
 	r.clock += sec
 	r.Stats.ComputeSec += sec
+	if r.tl != nil && sec != 0 {
+		r.tl.Append(trace.Event{Kind: trace.KindCompute, Name: "compute", Peer: -1, Start: start, Dur: sec, Delta: trace.StatDelta{ComputeSec: sec}})
+	}
 }
 
 // ChargeComm advances the clock by sec seconds of unmaskable communication
@@ -548,9 +791,13 @@ func (r *Rank) ChargeComm(sec float64) {
 	if sec < 0 {
 		sec = 0
 	}
+	start := r.clock
 	r.clock += sec
 	r.Stats.TotalCommSec += sec
 	r.Stats.ResidualCommSec += sec
+	if r.tl != nil && sec != 0 {
+		r.tl.Append(trace.Event{Kind: trace.KindCommCharge, Name: "comm-charge", Peer: -1, Start: start, Dur: sec, Delta: trace.StatDelta{TotalCommSec: sec, ResidualCommSec: sec}})
+	}
 }
 
 // NoteAlloc records bytes of private memory acquired by the rank program
@@ -580,16 +827,51 @@ func (r *Rank) Send(to int, tag string, payload []byte) {
 	r.faultPoint()
 	r.noteProgress()
 	cost := r.m.cfg.Cost
+	start := r.clock
 	r.clock += cost.SendOverheadSec
 	xfer := cost.XferSec(len(payload), r.Size()) + r.injectSendDelay(to)
 	r.Stats.TotalCommSec += cost.SendOverheadSec
 	r.Stats.BytesSent += int64(len(payload))
 	r.Stats.Messages++
+	if r.tl != nil {
+		r.tl.Append(trace.Event{Kind: trace.KindSend, Name: tag, Peer: to, Bytes: int64(len(payload)), Start: start, Dur: cost.SendOverheadSec, Delta: trace.StatDelta{TotalCommSec: cost.SendOverheadSec, BytesSent: int64(len(payload)), Messages: 1}})
+	}
 	msg := message{from: r.id, tag: tag, payload: payload, arrival: r.clock + xfer}
+	r.m.noteSent(to, r.id)
 	select {
 	case r.m.mailbox[to] <- msg:
-	case <-r.m.abort:
-		r.interrupted()
+	default:
+		r.sendSlow(to, msg)
+	}
+}
+
+// sendSlow parks the sender on a full mailbox until space frees up, the
+// stuck-rank analysis proves the receiver can never drain it, or a fatal
+// abort fires.
+func (r *Rank) sendSlow(to int, msg message) {
+	defer r.m.clearBlocked(r.id)
+	for {
+		ch := r.m.notified()
+		select {
+		case r.m.mailbox[to] <- msg:
+			return
+		default:
+		}
+		if r.m.hasFailure() {
+			r.m.setBlocked(r.id, blockInfo{kind: blockSend, peer: to})
+			if r.m.shouldUnwind(r.id) {
+				r.m.unsend(to, r.id) // the message never entered the mailbox
+				r.interrupted()
+			}
+		}
+		select {
+		case r.m.mailbox[to] <- msg:
+			return
+		case <-ch:
+		case <-r.m.abort:
+			r.m.unsend(to, r.id)
+			r.interrupted()
+		}
 	}
 }
 
@@ -604,7 +886,7 @@ func (r *Rank) Recv(from int) (tag string, payload []byte) {
 			r.pending[from] = q[1:]
 			return r.deliver(msg)
 		}
-		r.pullOne()
+		r.pullOne(from)
 	}
 }
 
@@ -620,7 +902,7 @@ func (r *Rank) RecvAny() (from int, tag string, payload []byte) {
 		for {
 			select {
 			case msg := <-r.m.mailbox[r.id]:
-				r.pending[msg.from] = append(r.pending[msg.from], msg)
+				r.intake(msg)
 				continue
 			default:
 			}
@@ -633,7 +915,7 @@ func (r *Rank) RecvAny() (from int, tag string, payload []byte) {
 			tag, payload = r.deliver(msg)
 			return msg.from, tag, payload
 		}
-		r.pullOne()
+		r.pullOne(-1)
 	}
 }
 
@@ -657,12 +939,42 @@ func (r *Rank) earliestPending() (int, bool) {
 	return best, best >= 0
 }
 
-func (r *Rank) pullOne() {
-	select {
-	case msg := <-r.m.mailbox[r.id]:
-		r.pending[msg.from] = append(r.pending[msg.from], msg)
-	case <-r.m.abort:
-		r.interrupted()
+// intake moves one message from the mailbox into the pending queues,
+// keeping the in-flight counter in step.
+func (r *Rank) intake(msg message) {
+	r.m.blockMu.Lock()
+	r.m.pulled[r.id*r.m.cfg.Ranks+msg.from]++
+	r.m.blockMu.Unlock()
+	r.pending[msg.from] = append(r.pending[msg.from], msg)
+}
+
+// pullOne blocks until one mailbox message can be moved into the pending
+// queues. from names the sender the caller is waiting for (-1: any), which
+// scopes the stuck-rank analysis once the machine carries a failure.
+func (r *Rank) pullOne(from int) {
+	defer r.m.clearBlocked(r.id)
+	for {
+		ch := r.m.notified()
+		select {
+		case msg := <-r.m.mailbox[r.id]:
+			r.intake(msg)
+			return
+		default:
+		}
+		if r.m.hasFailure() {
+			r.m.setBlocked(r.id, blockInfo{kind: blockRecv, peer: from})
+			if r.m.shouldUnwind(r.id) {
+				r.interrupted()
+			}
+		}
+		select {
+		case msg := <-r.m.mailbox[r.id]:
+			r.intake(msg)
+			return
+		case <-ch:
+		case <-r.m.abort:
+			r.interrupted()
+		}
 	}
 }
 
@@ -672,6 +984,8 @@ func (r *Rank) pullOne() {
 // yet — load imbalance, not network time).
 func (r *Rank) deliver(msg message) (string, []byte) {
 	xfer := r.m.cfg.Cost.XferSec(len(msg.payload), r.Size())
+	entry := r.clock
+	var commD, syncD float64
 	if wait := msg.arrival - r.clock; wait > 0 {
 		r.clock = msg.arrival
 		comm := wait
@@ -680,9 +994,13 @@ func (r *Rank) deliver(msg message) (string, []byte) {
 		}
 		r.Stats.ResidualCommSec += comm
 		r.Stats.SyncWaitSec += wait - comm
+		commD, syncD = comm, wait-comm
 	}
 	r.Stats.TotalCommSec += xfer
 	r.Stats.BytesReceived += int64(len(msg.payload))
+	if r.tl != nil {
+		r.tl.Append(trace.Event{Kind: trace.KindRecv, Name: msg.tag, Peer: msg.from, Bytes: int64(len(msg.payload)), Start: entry, Dur: r.clock - entry, Delta: trace.StatDelta{TotalCommSec: xfer, ResidualCommSec: commD, SyncWaitSec: syncD, BytesReceived: int64(len(msg.payload))}})
+	}
 	r.noteProgress() // post-receive progress point (target-progress mode)
 	return msg.tag, msg.payload
 }
@@ -694,6 +1012,9 @@ func (r *Rank) deliver(msg message) (string, []byte) {
 func (r *Rank) Expose(name string, data []byte) {
 	r.faultPoint()
 	r.noteProgress()
+	if r.tl != nil {
+		r.tl.Append(trace.Event{Kind: trace.KindExpose, Name: name, Peer: -1, Bytes: int64(len(data)), Start: r.clock})
+	}
 	r.m.windowMu.Lock()
 	key := windowKey{owner: r.id, name: name}
 	if w, ok := r.m.windows[key]; ok {
@@ -735,14 +1056,20 @@ func (r *Rank) Get(owner int, name string) *Pending {
 	}
 	r.faultPoint()
 	r.Stats.Messages++
+	if r.tl != nil {
+		r.tl.Append(trace.Event{Kind: trace.KindGetIssue, Name: name, Peer: owner, Start: r.clock, Delta: trace.StatDelta{Messages: 1}})
+	}
 	return &Pending{r: r, owner: owner, name: name, issueTime: r.clock, issueCompute: r.Stats.ComputeSec}
 }
 
 // waitWindow blocks until owner's window under key exists, the owner fails
 // (ErrRankFailed), or the owner's body finishes without ever exposing it
-// (ErrNoWindow). An exposure merely still in flight is therefore waited
-// for, not an error.
+// (ErrNoWindow — unless a peer failure explains the missing exposure, which
+// is reported as ErrRankFailed instead). An exposure merely still in flight
+// is therefore waited for, not an error. Every exit condition is a fact of
+// the virtual execution, so the outcome is schedule-independent.
 func (r *Rank) waitWindow(owner int, key windowKey) (*window, error) {
+	defer r.m.clearBlocked(r.id)
 	for {
 		ch := r.m.notified() // grab before re-checking to avoid lost wakeups
 		r.m.windowMu.Lock()
@@ -756,13 +1083,26 @@ func (r *Rank) waitWindow(owner int, key windowKey) (*window, error) {
 			return nil, fmt.Errorf("cluster: rank %d: window %q: %w", r.id, key.name, ErrNoWindow)
 		}
 		if r.m.isFailed(owner) {
-			if _, t, ok := r.m.firstCrash(); ok {
-				r.chargeDetection(t)
+			if rank, t, ok := r.m.firstCrash(); ok {
+				r.chargeDetection(rank, t)
 			}
 			return nil, ErrRankFailed{Rank: owner}
 		}
 		if r.m.bodyFinished(owner) {
+			if rank, t, ok := r.m.firstCrash(); ok {
+				// The owner unwound as a survivor of a peer failure before
+				// exposing: observe that failure rather than mis-reporting
+				// the missing window as a program error.
+				r.chargeDetection(rank, t)
+				return nil, ErrRankFailed{Rank: rank}
+			}
 			return nil, fmt.Errorf("cluster: rank %d: window %q: rank %d finished without exposing it: %w", r.id, key.name, owner, ErrNoWindow)
+		}
+		if r.m.hasFailure() {
+			r.m.setBlocked(r.id, blockInfo{kind: blockWindow, peer: owner, name: key.name})
+			if r.m.shouldUnwind(r.id) {
+				return nil, r.interruptedErr()
+			}
 		}
 		select {
 		case <-ch:
@@ -787,16 +1127,18 @@ func (p *Pending) Wait() ([]byte, error) {
 	r := p.r
 	r.faultPoint()
 	r.noteProgress()
+	entry := r.clock
 	key := windowKey{owner: p.owner, name: p.name}
 	w, err := r.waitWindow(p.owner, key)
 	if err != nil {
+		if r.tl != nil {
+			r.tl.Append(trace.Event{Kind: trace.KindGetWait, Name: p.name, Peer: p.owner, Start: entry, Dur: r.clock - entry, Note: err.Error()})
+		}
 		return nil, err
 	}
-	select {
-	case <-w.ready:
-	case <-r.m.abort:
-		return nil, r.interruptedErr()
-	}
+	// Expose closes ready before the window becomes discoverable, so this
+	// never blocks; it orders this read after the exposure.
+	<-w.ready
 	r.m.windowMu.Lock()
 	data, exposeTime := w.data, w.exposeTime
 	r.m.windowMu.Unlock()
@@ -814,15 +1156,20 @@ func (p *Pending) Wait() ([]byte, error) {
 	// virtual clock. Exhausting the budget abandons the transfer and fails
 	// the issuing rank (recoverably).
 	var retryExtra float64
+	var nretries int64
 	attempts := 1
 	for r.dropTransfer(p.owner) {
 		r.Stats.RMARetries++
+		nretries++
 		if attempts > r.m.fault.plan.maxRetries() {
 			r.Stats.RMAFailures++
 			terr := TransferError{Owner: p.owner, Window: p.name, Attempts: attempts}
 			r.clock += retryExtra + xfer
 			r.Stats.TotalCommSec += retryExtra + xfer
 			r.Stats.ResidualCommSec += retryExtra + xfer
+			if r.tl != nil {
+				r.tl.Append(trace.Event{Kind: trace.KindGetWait, Name: p.name, Peer: p.owner, Start: entry, Dur: r.clock - entry, Note: terr.Error(), Delta: trace.StatDelta{TotalCommSec: retryExtra + xfer, ResidualCommSec: retryExtra + xfer, RMARetries: nretries, RMAFailures: 1}})
+			}
 			r.m.failRank(r.id, ErrRankFailed{Rank: r.id, Cause: terr}, r.clock)
 			return nil, terr
 		}
@@ -850,21 +1197,32 @@ func (p *Pending) Wait() ([]byte, error) {
 	if waited < 0 {
 		waited = 0
 	}
+	d := trace.StatDelta{BytesReceived: int64(len(data)), RMABytesReceived: int64(len(data)), RMARetries: nretries}
 	// The op's total cost is its transfer time (including retry attempts)
 	// or, when the target's service delay (target-progress mode) or
 	// exposure lag stretched the wait, the full unmasked wait — keeping
 	// residual ≤ total per op.
 	if waited > retryExtra+xfer {
 		r.Stats.TotalCommSec += waited
+		d.TotalCommSec = waited
 	} else {
 		r.Stats.TotalCommSec += retryExtra + xfer
+		d.TotalCommSec = retryExtra + xfer
 	}
 	if waited > 0 {
 		r.Stats.ResidualCommSec += waited
+		d.ResidualCommSec = waited
 		r.clock = completion
 	}
 	if cost.RMATargetProgress && p.owner != r.id {
 		r.progress.exit(r.clock)
+	}
+	if r.tl != nil {
+		ev := trace.Event{Kind: trace.KindGetWait, Name: p.name, Peer: p.owner, Bytes: int64(len(data)), Start: entry, Dur: r.clock - entry, Delta: d}
+		if blocking {
+			ev.Note = "blocking"
+		}
+		r.tl.Append(ev)
 	}
 	out := make([]byte, len(data))
 	copy(out, data)

@@ -1,14 +1,25 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"pepscale/internal/trace"
+)
+
+// worldPhaserID names the machine-wide collective rendezvous in traces.
+const worldPhaserID = "world"
 
 // phaser is the machine's reusable rendezvous point for collectives. Every
 // rank must invoke the same sequence of collective operations (the standard
-// MPI ordering requirement); each operation is one phaser round.
+// MPI ordering requirement); each operation is one phaser round. The id
+// names the phaser in traces; together with the round sequence number it
+// lets trace analysis match one rendezvous across rank timelines.
 type phaser struct {
-	n   int
-	cur *phRound
-	mu  chMutex
+	id    string
+	n     int
+	ranks []int // global rank ids of the members, ascending group order
+	cur   *phRound
+	mu    chMutex
 }
 
 // chMutex is a channel-based mutex so a blocked collective can also observe
@@ -33,6 +44,7 @@ func (m *chMutex) lock(r *Rank) {
 func (m *chMutex) unlock() { m.ch <- struct{}{} }
 
 type phRound struct {
+	seq      int64
 	inputs   []interface{}
 	clocks   []float64
 	ranks    []*Rank
@@ -42,12 +54,14 @@ type phRound struct {
 	maxClock float64
 }
 
-func newPhaser(n int) *phaser {
-	return &phaser{n: n, cur: newRound(n), mu: newChMutex()}
+func newPhaser(ranks []int, id string) *phaser {
+	n := len(ranks)
+	return &phaser{id: id, n: n, ranks: ranks, cur: newRound(n, 0), mu: newChMutex()}
 }
 
-func newRound(n int) *phRound {
+func newRound(n int, seq int64) *phRound {
 	return &phRound{
+		seq:    seq,
 		inputs: make([]interface{}, n),
 		clocks: make([]float64, n),
 		ranks:  make([]*Rank, n),
@@ -63,6 +77,7 @@ func (p *phaser) arrive(r *Rank, idx int, input interface{}, fn func(inputs []in
 	r.noteCollectiveEnter()
 	p.mu.lock(r)
 	rd := p.cur
+	r.lastCollPh, r.lastCollSeq = p.id, rd.seq
 	rd.inputs[idx] = input
 	rd.clocks[idx] = r.clock
 	rd.ranks[idx] = r
@@ -87,31 +102,65 @@ func (p *phaser) arrive(r *Rank, idx int, input interface{}, fn func(inputs []in
 				pr.progress.closeOpen(rd.maxClock)
 			}
 		}
-		p.cur = newRound(p.n)
+		p.cur = newRound(p.n, rd.seq+1)
 		p.mu.unlock()
 		close(rd.done)
 	} else {
 		p.mu.unlock()
-		select {
-		case <-rd.done:
-		case <-r.m.abort:
-			r.interrupted()
-		}
+		r.awaitRound(p, rd)
 	}
 	return rd.result, rd.maxClock
 }
 
+// awaitRound parks the rank until its collective round completes. Under a
+// recoverable failure the rank unwinds (detection charge + failPanic) only
+// once the stuck-rank analysis proves the rendezvous can never complete — a
+// fact of the virtual execution, not of goroutine scheduling — so a faulted
+// run's survivor timelines are deterministic. A fatal abort unwinds
+// immediately.
+func (r *Rank) awaitRound(p *phaser, rd *phRound) {
+	defer r.m.clearBlocked(r.id)
+	for {
+		ch := r.m.notified()
+		select {
+		case <-rd.done:
+			return
+		default:
+		}
+		if r.m.hasFailure() {
+			r.m.setBlocked(r.id, blockInfo{kind: blockColl, round: rd, members: p.ranks})
+			if r.m.shouldUnwind(r.id) {
+				r.interrupted()
+			}
+		}
+		select {
+		case <-rd.done:
+		case <-ch:
+		case <-r.m.abort:
+			r.interrupted()
+		}
+	}
+}
+
 // syncTo advances the rank clock to the collective's start time (recording
 // the skew as synchronization wait) and then charges the collective's own
-// communication cost.
-func (r *Rank) syncTo(maxClock, cost float64) {
-	if wait := maxClock - r.clock; wait > 0 {
-		r.Stats.SyncWaitSec += wait
+// communication cost. The name identifies the collective operation in the
+// trace; the rendezvous identity stamped by arrive ties the event to its
+// peers' events of the same round.
+func (r *Rank) syncTo(name string, maxClock, cost float64) {
+	entry := r.clock
+	var wait float64
+	if w := maxClock - r.clock; w > 0 {
+		wait = w
+		r.Stats.SyncWaitSec += w
 		r.clock = maxClock
 	}
 	r.clock += cost
 	r.Stats.TotalCommSec += cost
 	r.Stats.ResidualCommSec += cost
+	if r.tl != nil {
+		r.tl.Append(trace.Event{Kind: trace.KindCollective, Name: name, Peer: -1, PhID: r.lastCollPh, Seq: r.lastCollSeq, Start: entry, Dur: r.clock - entry, Delta: trace.StatDelta{SyncWaitSec: wait, TotalCommSec: cost, ResidualCommSec: cost}})
+	}
 	r.noteExit()
 }
 
@@ -119,7 +168,7 @@ func (r *Rank) syncTo(maxClock, cost float64) {
 // rank plus a ⌈log₂p⌉-round latency cost.
 func (r *Rank) Barrier() {
 	_, maxClock := r.m.coll.arrive(r, r.id, nil, nil)
-	r.syncTo(maxClock, r.Cost().CollectiveSec(0, r.Size()))
+	r.syncTo("barrier", maxClock, r.Cost().CollectiveSec(0, r.Size()))
 }
 
 // ReduceOp selects the combining operation of an Allreduce.
@@ -168,7 +217,7 @@ func (r *Rank) AllreduceInt64(op ReduceOp, v int64) int64 {
 		}
 		return acc
 	})
-	r.syncTo(maxClock, r.Cost().CollectiveSec(8, r.Size()))
+	r.syncTo("allreduce-int64", maxClock, r.Cost().CollectiveSec(8, r.Size()))
 	return res.(int64)
 }
 
@@ -193,7 +242,7 @@ func (r *Rank) AllreduceFloat64(op ReduceOp, v float64) float64 {
 		}
 		return acc
 	})
-	r.syncTo(maxClock, r.Cost().CollectiveSec(8, r.Size()))
+	r.syncTo("allreduce-float64", maxClock, r.Cost().CollectiveSec(8, r.Size()))
 	return res.(float64)
 }
 
@@ -227,7 +276,7 @@ func (r *Rank) AllreduceInt64Vec(op ReduceOp, vec []int64) []int64 {
 		}
 		return acc
 	})
-	r.syncTo(maxClock, r.Cost().CollectiveSec(8*len(vec), r.Size()))
+	r.syncTo("allreduce-int64vec", maxClock, r.Cost().CollectiveSec(8*len(vec), r.Size()))
 	shared := res.([]int64)
 	out := make([]int64, len(shared))
 	copy(out, shared)
@@ -242,14 +291,16 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 		return d
 	})
 	out, _ := res.([]byte)
-	r.syncTo(maxClock, r.Cost().CollectiveSec(len(out), r.Size()))
+	r.syncTo("bcast", maxClock, r.Cost().CollectiveSec(len(out), r.Size()))
 	if r.id != root {
 		cp := make([]byte, len(out))
 		copy(cp, out)
 		r.Stats.BytesReceived += int64(len(out))
+		r.traceCollBytes(0, int64(len(out)))
 		return cp
 	}
 	r.Stats.BytesSent += int64(len(out))
+	r.traceCollBytes(int64(len(out)), 0)
 	return out
 }
 
@@ -267,7 +318,7 @@ func (r *Rank) Allgather(payload []byte) [][]byte {
 		return gathered{bufs: out, total: total}
 	})
 	g := res.(gathered)
-	r.syncTo(maxClock, r.Cost().CollectiveSec(g.total, r.Size()))
+	r.syncTo("allgather", maxClock, r.Cost().CollectiveSec(g.total, r.Size()))
 	out := make([][]byte, len(g.bufs))
 	for i, b := range g.bufs {
 		cp := make([]byte, len(b))
@@ -276,6 +327,7 @@ func (r *Rank) Allgather(payload []byte) [][]byte {
 	}
 	r.Stats.BytesSent += int64(len(payload))
 	r.Stats.BytesReceived += int64(g.total)
+	r.traceCollBytes(int64(len(payload)), int64(g.total))
 	return out
 }
 
@@ -301,12 +353,14 @@ func (r *Rank) Gather(root int, payload []byte) [][]byte {
 	cost := r.Cost()
 	if r.id == root {
 		extra := float64(TreeSteps(r.Size()))*cost.LatencySec + float64(g.total)/cost.effectiveBytesPerSec(r.Size())
-		r.syncTo(maxClock, extra)
+		r.syncTo("gather", maxClock, extra)
 		r.Stats.BytesReceived += int64(g.total)
+		r.traceCollBytes(0, int64(g.total))
 		return g.bufs
 	}
-	r.syncTo(maxClock, cost.XferSec(len(payload), r.Size()))
+	r.syncTo("gather", maxClock, cost.XferSec(len(payload), r.Size()))
 	r.Stats.BytesSent += int64(len(payload))
+	r.traceCollBytes(int64(len(payload)), 0)
 	return nil
 }
 
@@ -338,8 +392,9 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 		out[j] = cp
 		recvTotal += len(src)
 	}
-	r.syncTo(maxClock, r.Cost().AlltoallvSec(sendTotal, recvTotal, r.Size()))
+	r.syncTo("alltoallv", maxClock, r.Cost().AlltoallvSec(sendTotal, recvTotal, r.Size()))
 	r.Stats.BytesSent += int64(sendTotal)
 	r.Stats.BytesReceived += int64(recvTotal)
+	r.traceCollBytes(int64(sendTotal), int64(recvTotal))
 	return out
 }

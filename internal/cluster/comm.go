@@ -66,11 +66,13 @@ func (c *Comm) Split(color, key int) *Comm {
 			for i, e := range members {
 				ranks[i] = e.rank
 			}
-			out[color] = &commShared{ranks: ranks, ph: newPhaser(len(ranks))}
+			// The phaser id is derived from the (sorted) membership, so a
+			// deterministic program yields deterministic trace identities.
+			out[color] = &commShared{ranks: ranks, ph: newPhaser(ranks, fmt.Sprintf("split%v", ranks))}
 		}
 		return out
 	})
-	r.syncTo(maxClock, r.Cost().CollectiveSec(12, c.Size()))
+	r.syncTo("split", maxClock, r.Cost().CollectiveSec(12, c.Size()))
 	shared := res.(map[int]*commShared)[color]
 	myIdx := -1
 	for i, gr := range shared.ranks {
@@ -88,7 +90,7 @@ func (c *Comm) Split(color, key int) *Comm {
 // Barrier synchronizes the communicator's members.
 func (c *Comm) Barrier() {
 	_, maxClock := c.shared.ph.arrive(c.r, c.myIdx, nil, nil)
-	c.r.syncTo(maxClock, c.r.Cost().CollectiveSec(0, c.Size()))
+	c.r.syncTo("barrier", maxClock, c.r.Cost().CollectiveSec(0, c.Size()))
 }
 
 // AllreduceInt64 combines one int64 per member under op.
@@ -100,7 +102,7 @@ func (c *Comm) AllreduceInt64(op ReduceOp, v int64) int64 {
 		}
 		return acc
 	})
-	c.r.syncTo(maxClock, c.r.Cost().CollectiveSec(8, c.Size()))
+	c.r.syncTo("allreduce-int64", maxClock, c.r.Cost().CollectiveSec(8, c.Size()))
 	return res.(int64)
 }
 
@@ -118,7 +120,7 @@ func (c *Comm) Allgather(payload []byte) [][]byte {
 		return gathered{bufs: out, total: total}
 	})
 	g := res.(gathered)
-	c.r.syncTo(maxClock, c.r.Cost().CollectiveSec(g.total, c.Size()))
+	c.r.syncTo("allgather", maxClock, c.r.Cost().CollectiveSec(g.total, c.Size()))
 	out := make([][]byte, len(g.bufs))
 	for i, b := range g.bufs {
 		cp := make([]byte, len(b))
@@ -127,6 +129,7 @@ func (c *Comm) Allgather(payload []byte) [][]byte {
 	}
 	c.r.Stats.BytesSent += int64(len(payload))
 	c.r.Stats.BytesReceived += int64(g.total)
+	c.r.traceCollBytes(int64(len(payload)), int64(g.total))
 	return out
 }
 

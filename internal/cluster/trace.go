@@ -1,0 +1,66 @@
+// Event-tracing surface of the virtual machine.
+//
+// When Config.Trace is set, every accounting site of the machine mirrors
+// its Stats mutation as a typed interval event on the rank's virtual-clock
+// timeline (see internal/trace). Tracing is zero-overhead when disabled:
+// each rank holds a nil log pointer and every emission site is a single
+// pointer test on the hot path — the disabled-tracer AllocsPerRun guard in
+// trace_test.go enforces that no allocation sneaks in.
+package cluster
+
+import "pepscale/internal/trace"
+
+// Tracing reports whether event tracing is enabled for this machine.
+func (r *Rank) Tracing() bool { return r.tl != nil }
+
+// SetPhase tags subsequently recorded events with an engine phase name
+// ("load", "sort", "scan", "checkpoint", "report"). No-op when tracing is
+// disabled.
+func (r *Rank) SetPhase(phase string) {
+	if r.tl != nil {
+		r.tl.SetPhase(phase)
+	}
+}
+
+// SetStep tags subsequently recorded events with a transport-loop step
+// index; -1 clears the tag. No-op when tracing is disabled.
+func (r *Rank) SetStep(step int) {
+	if r.tl != nil {
+		r.tl.SetStep(step)
+	}
+}
+
+// Mark records an instantaneous engine annotation (checkpoint written,
+// state restored) at the current virtual clock. No-op when tracing is
+// disabled.
+func (r *Rank) Mark(name, note string) {
+	if r.tl != nil {
+		r.tl.Append(trace.Event{Kind: trace.KindMark, Name: name, Note: note, Peer: -1, Start: r.clock})
+	}
+}
+
+// traceCollBytes attaches the byte counters a collective charges after its
+// rendezvous to the just-recorded collective event, keeping the event's
+// delta an exact mirror of the Stats mutation.
+func (r *Rank) traceCollBytes(sent, recv int64) {
+	if r.tl == nil {
+		return
+	}
+	ev := r.tl.Last()
+	if ev == nil || ev.Kind != trace.KindCollective {
+		return
+	}
+	ev.Bytes += sent + recv
+	ev.Delta.BytesSent += sent
+	ev.Delta.BytesReceived += recv
+}
+
+// Trace snapshots the events recorded since the machine was created (or
+// last Reset) as one trace attempt. It returns nil when tracing is
+// disabled, and must not be called concurrently with Run.
+func (m *Machine) Trace(label string) *trace.Attempt {
+	if m.rec == nil {
+		return nil
+	}
+	return m.rec.Snapshot(label)
+}

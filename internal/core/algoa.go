@@ -147,6 +147,8 @@ func contiguousGIDs(base int32, n int) []int32 {
 // maps the rank's (possibly reordered) query slots back to their positions
 // in Input.Queries.
 func finishRun(r *cluster.Rank, l *loaded, sh *shared, indices []int, loadSec, sortSec float64, candidates int64) error {
+	r.SetStep(-1)
+	r.SetPhase("report")
 	cost := r.Cost()
 	results := finalizeResults(indices, l.qs, l.lists)
 	var hits int
@@ -154,11 +156,7 @@ func finishRun(r *cluster.Rank, l *loaded, sh *shared, indices []int, loadSec, s
 		hits += len(qr.Hits)
 	}
 	r.Compute(cost.HitSecPerHit * float64(hits))
-	blob, err := encodeResults(results)
-	if err != nil {
-		return err
-	}
-	gathered := r.Gather(0, blob)
+	gathered := r.Gather(0, encodeResults(results))
 	if r.ID() == 0 {
 		merged, err := mergeGathered(gathered, l.qhi-l.qlo)
 		if err != nil {
@@ -188,6 +186,7 @@ func finishRun(r *cluster.Rank, l *loaded, sh *shared, indices []int, loadSec, s
 func algorithmABody(r *cluster.Rank, in Input, opt Options, masking bool, sh *shared) error {
 	p, id := r.Size(), r.ID()
 	t0 := r.Time()
+	r.SetPhase("load")
 	l, err := loadPhase(r, in, opt, p, id)
 	if err != nil {
 		return err
@@ -196,12 +195,14 @@ func algorithmABody(r *cluster.Rank, in Input, opt Options, masking bool, sh *sh
 	r.Expose(dbWindow, l.myBytes)
 	r.Barrier()
 	loadSec := r.Time() - t0
+	r.SetPhase("scan")
 
 	curRecs, curBase := l.recs, l.bases[id]
 	curKey := blockKey(id, len(l.myBytes))
 	var curAlloc int64 // transported Dcomp footprint (0 while scanning Di)
 	var candidates int64
 	for s := 0; s < p; s++ {
+		r.SetStep(s)
 		nextOwner := (id + s + 1) % p
 		var pending *cluster.Pending
 		if masking && s+1 < p {

@@ -26,12 +26,14 @@ import (
 func algorithmBBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	p, id := r.Size(), r.ID()
 	t0 := r.Time()
+	r.SetPhase("load")
 	l, err := loadPhase(r, in, opt, p, id)
 	if err != nil {
 		return err
 	}
 	l.cache = sh.cache
 	loadSec := r.Time() - t0
+	r.SetPhase("sort")
 
 	// B2: parallel counting sort by parent m/z.
 	seqs := make([]sortmz.Seq, len(l.recs))
@@ -72,6 +74,7 @@ func algorithmBBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	}
 	l.qs, l.lists = qsSorted, listsSorted
 	r.Compute(r.Cost().SortSecPerKey * float64(len(order)))
+	r.SetPhase("scan")
 
 	// Sender group: ranks that can hold candidates for the lightest local
 	// query. A database sequence can only contribute peptides at least as
@@ -130,6 +133,7 @@ func bTransportLoop(r *cluster.Rank, l *loaded, opt Options, sorted *sortmz.Resu
 	}
 
 	for si, owner := range owners {
+		r.SetStep(si)
 		if si == 0 {
 			if owner == id {
 				cur, curKey = sorted.Local, blockKey(id, len(ownRaw))

@@ -233,15 +233,13 @@ func candidateBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	}
 	qBufs := make([][]byte, p)
 	for j := 0; j < p; j++ {
-		if qBufs[j], err = encodeGob(outQ[j]); err != nil {
-			return err
-		}
+		qBufs[j] = encodeBatch(outQ[j])
 	}
 	recvQ := r.Alltoallv(qBufs)
 	var routed batchMsg
 	for _, buf := range recvQ {
-		var part batchMsg
-		if err := decodeGob(buf, &part); err != nil {
+		part, err := decodeBatch(buf)
+		if err != nil {
 			return err
 		}
 		routed.Indices = append(routed.Indices, part.Indices...)

@@ -23,8 +23,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -35,6 +33,7 @@ import (
 	"pepscale/internal/score"
 	"pepscale/internal/spectrum"
 	"pepscale/internal/topk"
+	"pepscale/internal/trace"
 )
 
 // Options configure a search.
@@ -193,6 +192,10 @@ func (m Metrics) MaxResidentBytes() int64 {
 type Result struct {
 	Queries []QueryResult
 	Metrics Metrics
+	// Trace is the run's virtual-clock event trace, one attempt per machine
+	// run (recovery drivers accumulate failed attempts ahead of the
+	// successful one). Nil unless cluster.Config.Trace was set.
+	Trace *trace.Trace
 }
 
 // share returns the half-open range [lo, hi) of m items owned by rank i of
@@ -326,27 +329,6 @@ func finalizeResults(indices []int, qs []*score.Query, lists []*topk.List) []Que
 		}
 	}
 	return out
-}
-
-// encodeResults / decodeResults are the wire format for shipping hit lists
-// to rank 0.
-func encodeResults(rs []QueryResult) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rs); err != nil {
-		return nil, fmt.Errorf("core: encode results: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeResults(b []byte) ([]QueryResult, error) {
-	var rs []QueryResult
-	if len(b) == 0 {
-		return nil, nil
-	}
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rs); err != nil {
-		return nil, fmt.Errorf("core: decode results: %w", err)
-	}
-	return rs, nil
 }
 
 // mergeGathered assembles rank 0's gathered per-rank result blobs into the

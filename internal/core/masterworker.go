@@ -1,8 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -27,31 +25,11 @@ type batchMsg struct {
 	Specs   []*spectrum.Spectrum
 }
 
-// resultMsg carries a worker's hit lists back to the master.
-type resultMsg struct {
-	Results []QueryResult
-}
-
 // fullDBKey is the memoization key for the whole-database index used by
 // the replicated master–worker baseline. Content hashing is fine here: it
 // happens once per rank at load time, not inside a transport loop.
 func fullDBKey(in Input) cacheKey {
 	return cacheKey{hash: xhash.Sum64(in.DBData), size: len(in.DBData)}
-}
-
-func encodeGob(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("core: gob encode: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeGob(b []byte, v interface{}) error {
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
-		return fmt.Errorf("core: gob decode: %w", err)
-	}
-	return nil
 }
 
 // masterWorkerBody implements the MSPolygraph baseline (paper steps S1–S4):
@@ -75,6 +53,7 @@ func masterWorkerBody(r *cluster.Rank, in Input, opt Options, sh *shared) error 
 func masterWorkerSolo(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	cost := r.Cost()
 	t0 := r.Time()
+	r.SetPhase("load")
 	r.Compute(cost.IOSec(len(in.DBData)))
 	r.NoteAlloc(int64(len(in.DBData)))
 	recs, err := sh.cache.recsFor(fullDBKey(in), in.DBData)
@@ -92,6 +71,7 @@ func masterWorkerSolo(r *cluster.Rank, in Input, opt Options, sh *shared) error 
 	r.Compute(cost.DigestSecPerResidue * float64(fasta.TotalResidues(recs)))
 	r.NoteAlloc(indexFootprintBytes(ix))
 	loadSec := r.Time() - t0
+	r.SetPhase("scan")
 
 	qs := prepareQueries(r, in.Queries, opt.Score)
 	lists := make([]*topk.List, len(qs))
@@ -111,6 +91,7 @@ func masterWorkerSolo(r *cluster.Rank, in Input, opt Options, sh *shared) error 
 // returned hit lists (paper steps S2–S4).
 func mwMaster(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	cost := r.Cost()
+	r.SetPhase("load")
 	m := len(in.Queries)
 	var qbytes int
 	for _, s := range in.Queries {
@@ -132,22 +113,16 @@ func mwMaster(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 		}
 		spans = append(spans, span{lo, hi})
 	}
-	sendBatch := func(w int, s span) error {
+	r.SetPhase("scan")
+	sendBatch := func(w int, s span) {
 		msg := batchMsg{Indices: queryIndices(s.lo, s.hi), Specs: in.Queries[s.lo:s.hi]}
-		b, err := encodeGob(msg)
-		if err != nil {
-			return err
-		}
-		r.Send(w, tagBatch, b)
-		return nil
+		r.Send(w, tagBatch, encodeBatch(msg))
 	}
 
 	next, active := 0, 0
 	for w := 1; w < r.Size(); w++ {
 		if next < len(spans) {
-			if err := sendBatch(w, spans[next]); err != nil {
-				return err
-			}
+			sendBatch(w, spans[next])
 			next++
 			active++
 		} else {
@@ -160,21 +135,20 @@ func mwMaster(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 		if tag != tagResult {
 			return fmt.Errorf("core: master received unexpected tag %q from rank %d", tag, from)
 		}
-		var res resultMsg
-		if err := decodeGob(payload, &res); err != nil {
+		res, err := decodeResults(payload)
+		if err != nil {
 			return err
 		}
-		merged = append(merged, res.Results...)
+		merged = append(merged, res...)
 		if next < len(spans) {
-			if err := sendBatch(from, spans[next]); err != nil {
-				return err
-			}
+			sendBatch(from, spans[next])
 			next++
 		} else {
 			r.Send(from, tagStop, nil)
 			active--
 		}
 	}
+	r.SetPhase("report")
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Index < merged[j].Index })
 	sh.merged = merged
 	return nil
@@ -185,6 +159,7 @@ func mwMaster(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	cost := r.Cost()
 	t0 := r.Time()
+	r.SetPhase("load")
 	// "all workers load the entire database D in their respective local
 	// memory" — the O(N) space per processor the paper criticizes.
 	r.Compute(cost.IOSec(len(in.DBData)))
@@ -204,6 +179,7 @@ func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	r.Compute(cost.DigestSecPerResidue * float64(fasta.TotalResidues(recs)))
 	r.NoteAlloc(indexFootprintBytes(ix))
 	loadSec := r.Time() - t0
+	r.SetPhase("scan")
 	idOf := blockIDResolver(recs, 0)
 
 	var candidates int64
@@ -217,8 +193,8 @@ func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 		if tag != tagBatch {
 			return fmt.Errorf("core: worker %d received unexpected tag %q", r.ID(), tag)
 		}
-		var b batchMsg
-		if err := decodeGob(payload, &b); err != nil {
+		b, err := decodeBatch(payload)
+		if err != nil {
 			return err
 		}
 		qs := prepareQueries(r, b.Specs, opt.Score)
@@ -230,11 +206,7 @@ func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 		r.Compute(scanComputeSec(cost, sc, st))
 		candidates += st.Candidates
 		processed += len(qs)
-		out, err := encodeGob(resultMsg{Results: finalizeResults(b.Indices, qs, lists)})
-		if err != nil {
-			return err
-		}
-		r.Send(0, tagResult, out)
+		r.Send(0, tagResult, encodeResults(finalizeResults(b.Indices, qs, lists)))
 	}
 	id := r.ID()
 	sh.loadSec[id] = loadSec

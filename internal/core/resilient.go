@@ -33,6 +33,7 @@ import (
 	"pepscale/internal/fasta"
 	"pepscale/internal/score"
 	"pepscale/internal/topk"
+	"pepscale/internal/trace"
 )
 
 // ResilientOptions configures checkpointing and the recovery driver.
@@ -97,6 +98,7 @@ func RunResilient(cfg cluster.Config, in Input, opt Options, ropt ResilientOptio
 	rec := &Recovery{}
 	dead := 0
 	var failedSec float64
+	var atts []*trace.Attempt
 	for attempt := 0; ; attempt++ {
 		pLive := p0 - dead
 		if pLive < 1 {
@@ -125,13 +127,20 @@ func RunResilient(cfg cluster.Config, in Input, opt Options, ropt ResilientOptio
 		})
 		rec.CheckpointWrites = store.Writes()
 		rec.CheckpointBytes = store.Bytes()
+		if att := mach.Trace(fmt.Sprintf("attempt %d: resilient p=%d", attempt, pLive)); att != nil {
+			atts = append(atts, att)
+		}
 		if rep.OK() {
 			metrics := buildMetrics("resilient", mach, sh.loadSec, sh.sortSec, sh.candidates, sh.queries)
 			metrics.RunSec += failedSec
 			for _, qr := range sh.merged {
 				metrics.Hits += int64(len(qr.Hits))
 			}
-			return &Result{Queries: sh.merged, Metrics: metrics}, rec, nil
+			res := &Result{Queries: sh.merged, Metrics: metrics}
+			if len(atts) > 0 {
+				res.Trace = &trace.Trace{Attempts: atts}
+			}
+			return res, rec, nil
 		}
 		if !rep.Recoverable() {
 			return nil, rec, rep.Err
@@ -160,6 +169,7 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 	p, id := r.Size(), r.ID()
 	cost := r.Cost()
 	t0 := r.Time()
+	r.SetPhase("load")
 
 	// Load and expose the owned blocks of the stable p0-way partition
 	// (round-robin: block b lives on rank b mod p).
@@ -241,6 +251,9 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 			}
 			gr.cursor = int(cp.Cursor)
 			gr.candidates = cp.Candidates
+			if r.Tracing() {
+				r.Mark("restore", fmt.Sprintf("group %d resumes at step %d", g, gr.cursor))
+			}
 		}
 		groups = append(groups, gr)
 	}
@@ -252,6 +265,7 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 	// boundary. The shim carries the shared cache, scorer, and the rank's
 	// persistent scan state through processBlock.
 	shim := &loaded{sc: sc, cache: sh.cache}
+	r.SetPhase("scan")
 	for _, gr := range groups {
 		if len(gr.qs) == 0 {
 			gr.cursor = p0
@@ -260,6 +274,7 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 		var pending *cluster.Pending
 		pendingBlock := -1
 		for s := gr.cursor; s < p0; s++ {
+			r.SetStep(s)
 			b := (gr.g + s) % p0
 			var recs []fasta.Record
 			var key cacheKey
@@ -306,6 +321,8 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 			}
 		}
 	}
+	r.SetStep(-1)
+	r.SetPhase("report")
 
 	// Report: finalize every owned group, gather at rank 0.
 	var results []QueryResult
@@ -321,11 +338,7 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 		hits += len(qr.Hits)
 	}
 	r.Compute(cost.HitSecPerHit * float64(hits))
-	blob, err := encodeResults(results)
-	if err != nil {
-		return err
-	}
-	gathered := r.Gather(0, blob)
+	gathered := r.Gather(0, encodeResults(results))
 	if id == 0 {
 		merged, err := mergeGathered(gathered, len(in.Queries))
 		if err != nil {
@@ -349,7 +362,12 @@ func writeCheckpoint(r *cluster.Rank, store *ckpt.Store, gr *rgroup) {
 	}
 	blob := cp.Encode()
 	store.Put(int32(gr.g), blob)
+	r.SetPhase("checkpoint")
+	if r.Tracing() {
+		r.Mark("checkpoint", fmt.Sprintf("group %d at step %d (%d bytes)", gr.g, gr.cursor, len(blob)))
+	}
 	r.Compute(r.Cost().IOSec(len(blob)))
+	r.SetPhase("scan")
 }
 
 // RunWithRecovery runs a standard engine (see Run) and, on a recoverable
@@ -366,6 +384,7 @@ func RunWithRecovery(algo Algorithm, cfg cluster.Config, in Input, opt Options, 
 	rec := &Recovery{}
 	dead := 0
 	var failedSec float64
+	var atts []*trace.Attempt
 	for attempt := 0; ; attempt++ {
 		pLive := p0 - dead
 		if pLive < 1 {
@@ -383,10 +402,17 @@ func RunWithRecovery(algo Algorithm, cfg cluster.Config, in Input, opt Options, 
 			att.Err = rep.Err
 			att.FailedRanks = rep.FailedRanks
 			att.RunSec = rep.runSec
+			if rep.attempt != nil {
+				rep.attempt.Label = fmt.Sprintf("attempt %d: %s", attempt, rep.attempt.Label)
+				atts = append(atts, rep.attempt)
+			}
 		}
 		rec.Attempts = append(rec.Attempts, att)
 		if err == nil {
 			res.Metrics.RunSec += failedSec
+			if len(atts) > 0 {
+				res.Trace = &trace.Trace{Attempts: atts}
+			}
 			return res, rec, nil
 		}
 		if rep == nil || !rep.Recoverable() {
@@ -400,10 +426,12 @@ func RunWithRecovery(algo Algorithm, cfg cluster.Config, in Input, opt Options, 
 	}
 }
 
-// reportedRun couples a cluster.RunReport with the attempt's virtual time.
+// reportedRun couples a cluster.RunReport with the attempt's virtual time
+// and (when tracing is enabled) its event trace.
 type reportedRun struct {
 	*cluster.RunReport
-	runSec float64
+	runSec  float64
+	attempt *trace.Attempt
 }
 
 // runReported is Run returning the machine's RunReport alongside the
@@ -423,6 +451,7 @@ func runReported(algo Algorithm, cfg cluster.Config, in Input, opt Options) (*Re
 	}
 	rep := mach.RunWithReport(body)
 	rr := &reportedRun{RunReport: rep, runSec: mach.MaxTime()}
+	rr.attempt = mach.Trace(fmt.Sprintf("%s p=%d", algo.String(), cfg.Ranks))
 	if rep.Err != nil {
 		return nil, rr, rep.Err
 	}
@@ -430,5 +459,9 @@ func runReported(algo Algorithm, cfg cluster.Config, in Input, opt Options) (*Re
 	for _, qr := range sh.merged {
 		metrics.Hits += int64(len(qr.Hits))
 	}
-	return &Result{Queries: sh.merged, Metrics: metrics}, rr, nil
+	res := &Result{Queries: sh.merged, Metrics: metrics}
+	if rr.attempt != nil {
+		res.Trace = &trace.Trace{Attempts: []*trace.Attempt{rr.attempt}}
+	}
+	return res, rr, nil
 }

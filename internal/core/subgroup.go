@@ -24,6 +24,7 @@ func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared
 	group := id / gs
 	local := id % gs
 	t0 := r.Time()
+	r.SetPhase("load")
 	l, err := loadPhase(r, in, opt, gs, local)
 	if err != nil {
 		return err
@@ -36,6 +37,7 @@ func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared
 	r.Expose(dbWindow, l.myBytes)
 	comm.Barrier()
 	loadSec := r.Time() - t0
+	r.SetPhase("scan")
 
 	curRecs, curBase := l.recs, l.bases[local]
 	// Blocks are identical across groups (every group partitions the same
@@ -45,6 +47,7 @@ func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared
 	var curAlloc int64
 	var candidates int64
 	for s := 0; s < gs; s++ {
+		r.SetStep(s)
 		nextBlock := (local + s + 1) % gs
 		nextOwner := group*gs + nextBlock
 		var pending *cluster.Pending

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"pepscale/internal/spectrum"
+	"pepscale/internal/topk"
+)
+
+func wireSampleResults() []QueryResult {
+	return []QueryResult{
+		{Index: 4, ID: "scan=4", ParentMass: 1042.55, Hits: []topk.Hit{
+			{Peptide: "PEPTIDEK", Protein: 1, ProteinID: "sp|P1", Mass: 904.47, Score: 37.5},
+			{Peptide: "M[+15.99]K", Protein: 0, ProteinID: "sp|P0", Mass: 293.11, Score: 2.25},
+		}},
+		{Index: 0, ID: "", ParentMass: math.SmallestNonzeroFloat64, Hits: nil},
+	}
+}
+
+func wireSampleBatch() batchMsg {
+	return batchMsg{
+		Indices: []int{7, 0, 12},
+		Specs: []*spectrum.Spectrum{
+			{ID: "q7", PrecursorMZ: 521.3, Charge: 2, Peaks: []spectrum.Peak{{MZ: 101.1, Intensity: 3}, {MZ: 250.2, Intensity: 1.5}}},
+			{ID: "", PrecursorMZ: 0, Charge: 1, Peaks: nil},
+			{ID: "q12", PrecursorMZ: 930.4, Charge: 3, Peaks: []spectrum.Peak{{MZ: 88.04, Intensity: 0.25}}},
+		},
+	}
+}
+
+// TestWireResultsRoundTrip: the deterministic result codec is lossless and
+// its blobs are a pure function of the values (re-encoding compares equal).
+func TestWireResultsRoundTrip(t *testing.T) {
+	rs := wireSampleResults()
+	b := encodeResults(rs)
+	back, err := decodeResults(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, back) {
+		t.Fatalf("round trip changed results:\n%+v\n%+v", rs, back)
+	}
+	if !bytes.Equal(b, encodeResults(back)) {
+		t.Fatal("re-encoding decoded results changed the bytes")
+	}
+	if got, err := decodeResults(nil); err != nil || got != nil {
+		t.Fatalf("nil blob: %v, %v", got, err)
+	}
+	if _, err := decodeResults(b[:len(b)-2]); !errors.Is(err, errWire) {
+		t.Fatalf("truncated blob error = %v, want errWire", err)
+	}
+	if _, err := decodeResults(append(append([]byte(nil), b...), 0)); !errors.Is(err, errWire) {
+		t.Fatalf("trailing-bytes error = %v, want errWire", err)
+	}
+}
+
+// TestWireBatchRoundTrip: same properties for the query-batch codec.
+func TestWireBatchRoundTrip(t *testing.T) {
+	m := wireSampleBatch()
+	b := encodeBatch(m)
+	back, err := decodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("round trip changed batch:\n%+v\n%+v", m, back)
+	}
+	if !bytes.Equal(b, encodeBatch(back)) {
+		t.Fatal("re-encoding decoded batch changed the bytes")
+	}
+	empty, err := decodeBatch(encodeBatch(batchMsg{}))
+	if err != nil || empty.Indices != nil || empty.Specs != nil {
+		t.Fatalf("empty batch round trip: %+v, %v", empty, err)
+	}
+	if _, err := decodeBatch(b[:5]); !errors.Is(err, errWire) {
+		t.Fatalf("truncated blob error = %v, want errWire", err)
+	}
+}
+
+// FuzzDecodeResults: arbitrary blobs must never panic the result decoder,
+// and accepted blobs must re-encode to the identical bytes (the property
+// the tracer's byte counts rely on).
+func FuzzDecodeResults(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeResults(wireSampleResults()))
+	f.Add(encodeResults(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rs, err := decodeResults(b)
+		if err != nil {
+			if !errors.Is(err, errWire) {
+				t.Fatalf("error %v is not errWire", err)
+			}
+			return
+		}
+		if len(b) > 0 && !bytes.Equal(encodeResults(rs), b) {
+			t.Fatal("accepted blob is not canonical")
+		}
+	})
+}
+
+// FuzzDecodeBatch: same contract for the batch decoder.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeBatch(wireSampleBatch()))
+	f.Add(encodeBatch(batchMsg{}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := decodeBatch(b)
+		if err != nil {
+			if !errors.Is(err, errWire) {
+				t.Fatalf("error %v is not errWire", err)
+			}
+			return
+		}
+		if len(b) > 0 && !bytes.Equal(encodeBatch(m), b) {
+			t.Fatal("accepted blob is not canonical")
+		}
+	})
+}

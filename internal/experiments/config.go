@@ -47,6 +47,9 @@ type Config struct {
 	SubGroupGroups []int
 	// CSV, when true, also emits CSV renditions after each table.
 	CSV bool
+	// TracePath, when set, makes the "trace" experiment write its Chrome
+	// trace_event JSON there (in addition to the printed analysis).
+	TracePath string
 
 	cachedTruths []synth.Truth
 	cachedDBs    map[int]cachedDB

@@ -9,7 +9,7 @@ import (
 var Names = []string{
 	"table1", "table2", "fig4", "table3", "table4",
 	"fig1a", "fig1b", "masking", "residual", "validate",
-	"subgroup", "space", "candidate", "quality",
+	"subgroup", "space", "candidate", "quality", "trace",
 }
 
 // Run executes the named experiments ("all" runs everything) in canonical
@@ -81,6 +81,8 @@ func (c *Config) Run(names []string) error {
 			_, err = c.CandidateTransport()
 		case "quality":
 			_, err = c.Quality()
+		case "trace":
+			err = c.Trace()
 		}
 		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", name, err)

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"os"
+
+	"pepscale/internal/cluster"
+	"pepscale/internal/core"
+	"pepscale/internal/trace"
+)
+
+// Trace runs the paper's Figure 6 decomposition as an event trace: a
+// traced 8-rank Algorithm A run over the mid-size database, printing the
+// per-phase rollup, per-step load-imbalance, and critical-path analysis.
+// With TracePath set, the raw Chrome trace_event JSON is written there for
+// Perfetto.
+func (c *Config) Trace() error {
+	p := 8
+	size := c.Table4Size
+	w, err := c.WorkloadFor(size)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.Config{Ranks: p, Cost: c.Cost, Trace: true}
+	res, err := core.Run(core.AlgoA, cfg, core.Input{DBData: w.Data, Queries: w.Queries}, c.Opt)
+	if err != nil {
+		return err
+	}
+	c.printf("Trace: Algorithm A, %d sequences, p = %d, %d queries\n\n", size, p, c.QueryCount)
+	if err := trace.WriteSummary(c.Out, res.Trace); err != nil {
+		return err
+	}
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return err
+		}
+		werr := trace.WriteChrome(f, res.Trace)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		c.printf("\nwrote Chrome trace to %s\n", c.TracePath)
+	}
+	c.printf("\n")
+	return nil
+}

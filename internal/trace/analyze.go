@@ -1,0 +1,297 @@
+// Analysis passes over rank timelines: exact Stats reconstruction,
+// per-phase and per-step rollups, load-imbalance statistics, and
+// critical-path extraction.
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// Makespan returns the attempt's parallel run-time: the latest event end
+// across all ranks.
+func (a *Attempt) Makespan() float64 {
+	var end float64
+	for _, evs := range a.Events {
+		for _, ev := range evs {
+			if e := ev.End(); e > end {
+				end = e
+			}
+		}
+	}
+	return end
+}
+
+// RankTotals folds each rank's event deltas in program order. Because every
+// cluster accounting site records the exact values it added to Stats, the
+// result reproduces cluster.Stats bit-for-bit — the trace-vs-Stats
+// cross-check tests rely on this.
+func (a *Attempt) RankTotals() []StatDelta {
+	out := make([]StatDelta, len(a.Events))
+	for rank, evs := range a.Events {
+		for _, ev := range evs {
+			out[rank].Add(ev.Delta)
+		}
+	}
+	return out
+}
+
+// PhaseRollup aggregates the events of one engine phase across all ranks.
+type PhaseRollup struct {
+	// Phase is the engine phase name ("" for untagged events).
+	Phase string
+	// Delta sums every participating event's Stats delta.
+	Delta StatDelta
+	// Events counts the aggregated events.
+	Events int
+}
+
+// PhaseRollups aggregates per phase, ordered by first appearance (scanning
+// ranks in ascending order, events in program order) — deterministic for a
+// deterministic trace.
+func (a *Attempt) PhaseRollups() []PhaseRollup {
+	idx := map[string]int{}
+	var out []PhaseRollup
+	for _, evs := range a.Events {
+		for _, ev := range evs {
+			i, ok := idx[ev.Phase]
+			if !ok {
+				i = len(out)
+				idx[ev.Phase] = i
+				out = append(out, PhaseRollup{Phase: ev.Phase})
+			}
+			out[i].Delta.Add(ev.Delta)
+			out[i].Events++
+		}
+	}
+	return out
+}
+
+// StepStat summarizes one transport-loop step: the paper's per-step
+// decomposition into computation, residual communication, and
+// synchronization, plus the compute skew that drives load imbalance.
+type StepStat struct {
+	// Step is the transport-loop step index s.
+	Step int
+	// MaxComputeSec and MeanComputeSec are the slowest rank's and the mean
+	// compute time in this step (mean over participating ranks).
+	MaxComputeSec  float64
+	MeanComputeSec float64
+	// SlowestRank is the rank attaining MaxComputeSec (lowest id on ties).
+	SlowestRank int
+	// Participants counts ranks with at least one event in this step.
+	Participants int
+	// ResidualCommSec and SyncWaitSec sum those deltas across participants.
+	ResidualCommSec float64
+	SyncWaitSec     float64
+}
+
+// Skew is the max/mean compute ratio (1 for an empty or perfectly balanced
+// step, +Inf when only some ranks computed at all).
+func (st StepStat) Skew() float64 {
+	if st.MeanComputeSec > 0 {
+		return st.MaxComputeSec / st.MeanComputeSec
+	}
+	if st.MaxComputeSec > 0 {
+		return math.Inf(1)
+	}
+	return 1
+}
+
+// StepStats aggregates per step (events with Step >= 0), ascending; steps
+// in which no rank recorded an event are omitted.
+func (a *Attempt) StepStats() []StepStat {
+	maxStep := -1
+	for _, evs := range a.Events {
+		for _, ev := range evs {
+			if ev.Step > maxStep {
+				maxStep = ev.Step
+			}
+		}
+	}
+	if maxStep < 0 {
+		return nil
+	}
+	n := len(a.Events)
+	comp := make([][]float64, maxStep+1)
+	part := make([][]bool, maxStep+1)
+	resid := make([]float64, maxStep+1)
+	syncw := make([]float64, maxStep+1)
+	for s := range comp {
+		comp[s] = make([]float64, n)
+		part[s] = make([]bool, n)
+	}
+	for rank, evs := range a.Events {
+		for _, ev := range evs {
+			if ev.Step < 0 {
+				continue
+			}
+			comp[ev.Step][rank] += ev.Delta.ComputeSec
+			part[ev.Step][rank] = true
+			resid[ev.Step] += ev.Delta.ResidualCommSec
+			syncw[ev.Step] += ev.Delta.SyncWaitSec
+		}
+	}
+	out := make([]StepStat, 0, maxStep+1)
+	for s := 0; s <= maxStep; s++ {
+		st := StepStat{Step: s, SlowestRank: -1, ResidualCommSec: resid[s], SyncWaitSec: syncw[s]}
+		var sum float64
+		for rank := 0; rank < n; rank++ {
+			if !part[s][rank] {
+				continue
+			}
+			st.Participants++
+			c := comp[s][rank]
+			sum += c
+			if st.SlowestRank < 0 || c > st.MaxComputeSec {
+				st.MaxComputeSec = c
+				st.SlowestRank = rank
+			}
+		}
+		if st.Participants == 0 {
+			continue
+		}
+		st.MeanComputeSec = sum / float64(st.Participants)
+		out = append(out, st)
+	}
+	return out
+}
+
+// RankCompute pairs a rank with its total compute time.
+type RankCompute struct {
+	Rank       int
+	ComputeSec float64
+}
+
+// SlowestRanks returns the k ranks with the largest total compute time,
+// descending (ties broken by ascending rank id).
+func (a *Attempt) SlowestRanks(k int) []RankCompute {
+	totals := a.RankTotals()
+	rc := make([]RankCompute, len(totals))
+	for i, d := range totals {
+		rc[i] = RankCompute{Rank: i, ComputeSec: d.ComputeSec}
+	}
+	sort.Slice(rc, func(i, j int) bool {
+		if rc[i].ComputeSec != rc[j].ComputeSec {
+			return rc[i].ComputeSec > rc[j].ComputeSec
+		}
+		return rc[i].Rank < rc[j].Rank
+	})
+	if k >= 0 && k < len(rc) {
+		rc = rc[:k]
+	}
+	return rc
+}
+
+// PathSeg is one event on the critical path.
+type PathSeg struct {
+	Rank int
+	Ev   Event
+}
+
+// PathBreakdown folds the Stats deltas along a path.
+func PathBreakdown(path []PathSeg) StatDelta {
+	var d StatDelta
+	for _, seg := range path {
+		d.Add(seg.Ev.Delta)
+	}
+	return d
+}
+
+// CriticalPath walks the attempt's timelines backwards from the event that
+// ends last, following causality across ranks: a collective whose delta
+// shows entry skew jumps to the round's last arriver (the matching
+// KindCollective event with zero SyncWaitSec, identified by PhID/Seq and
+// occurrence), and a receive that waited for a late sender jumps to the
+// sender's latest completed event. The returned segments are in
+// chronological order; PathBreakdown over them decomposes the run-time
+// bound into compute, residual communication, and synchronization.
+func (a *Attempt) CriticalPath() []PathSeg {
+	endRank, endIdx := -1, -1
+	var endTime float64
+	for rank, evs := range a.Events {
+		if len(evs) == 0 {
+			continue
+		}
+		if e := evs[len(evs)-1].End(); endRank < 0 || e > endTime {
+			endRank, endIdx, endTime = rank, len(evs)-1, e
+		}
+	}
+	if endRank < 0 {
+		return nil
+	}
+
+	// Index collective rounds. Two phasers with identical membership share
+	// a PhID and restart Seq at 0, but MPI ordering means every member
+	// observes their rounds in the same program order, so the occurrence
+	// count of (PhID, Seq) per rank disambiguates exactly.
+	type roundID struct {
+		phid string
+		seq  int64
+	}
+	type collKey struct {
+		roundID
+		occ int
+	}
+	type collRef struct {
+		rank, idx int
+	}
+	rounds := map[collKey][]collRef{}
+	keyOf := make([]map[int]collKey, len(a.Events))
+	for rank, evs := range a.Events {
+		seen := map[roundID]int{}
+		keyOf[rank] = map[int]collKey{}
+		for i, ev := range evs {
+			if ev.Kind != KindCollective {
+				continue
+			}
+			rid := roundID{phid: ev.PhID, seq: ev.Seq}
+			k := collKey{roundID: rid, occ: seen[rid]}
+			seen[rid]++
+			keyOf[rank][i] = k
+			rounds[k] = append(rounds[k], collRef{rank: rank, idx: i})
+		}
+	}
+
+	var segs []PathSeg
+	cur, idx := endRank, endIdx
+	budget := 0
+	for _, evs := range a.Events {
+		budget += len(evs)
+	}
+	for idx >= 0 && budget > 0 {
+		budget--
+		ev := a.Events[cur][idx]
+		segs = append(segs, PathSeg{Rank: cur, Ev: ev})
+		jumped := false
+		switch {
+		case ev.Kind == KindCollective && ev.Delta.SyncWaitSec > 0:
+			for _, ref := range rounds[keyOf[cur][idx]] {
+				if ref.rank == cur {
+					continue
+				}
+				if a.Events[ref.rank][ref.idx].Delta.SyncWaitSec == 0 {
+					cur, idx = ref.rank, ref.idx-1
+					jumped = true
+					break
+				}
+			}
+		case ev.Kind == KindRecv && ev.Delta.SyncWaitSec > 0 && ev.Peer >= 0 && ev.Peer != cur && ev.Peer < len(a.Events):
+			pevs := a.Events[ev.Peer]
+			for j := len(pevs) - 1; j >= 0; j-- {
+				if pevs[j].End() <= ev.End() {
+					cur, idx = ev.Peer, j
+					jumped = true
+					break
+				}
+			}
+		}
+		if !jumped {
+			idx--
+		}
+	}
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return segs
+}

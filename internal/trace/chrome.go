@@ -1,0 +1,339 @@
+// Chrome trace_event JSON export and import.
+//
+// WriteChrome emits the JSON-object flavour of the Chrome tracing format
+// ({"traceEvents": [...]}) that Perfetto and chrome://tracing load directly:
+// one process per attempt, one thread per rank, "X" complete-duration slices
+// for intervals and "i" instants for zero-duration markers, with ts/dur in
+// microseconds of virtual time. Viewers only need ts/dur, but those are
+// lossy (µs scaling); the full-precision seconds, the Stats deltas, and all
+// tags ride in each event's args, so ReadChrome(WriteChrome(t)) == t exactly
+// and the export is byte-for-byte deterministic for a deterministic run.
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	TS   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	PID  int             `json:"pid"`
+	TID  int             `json:"tid"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// metaArgs is the args payload of "M" metadata records.
+type metaArgs struct {
+	Name string `json:"name"`
+}
+
+// eventArgs carries the lossless event payload: exact virtual-clock seconds
+// and the full Stats delta. Field presence is fixed (no omitempty on
+// numerics) so the encoding of an event is a pure function of its values.
+type eventArgs struct {
+	Kind             string  `json:"kind"`
+	Phase            string  `json:"phase,omitempty"`
+	Step             int     `json:"step"`
+	Peer             int     `json:"peer"`
+	Bytes            int64   `json:"bytes"`
+	PhID             string  `json:"phid,omitempty"`
+	Seq              int64   `json:"seq"`
+	Note             string  `json:"note,omitempty"`
+	StartSec         float64 `json:"startSec"`
+	DurSec           float64 `json:"durSec"`
+	ComputeSec       float64 `json:"dComputeSec"`
+	TotalCommSec     float64 `json:"dTotalCommSec"`
+	ResidualCommSec  float64 `json:"dResidualCommSec"`
+	SyncWaitSec      float64 `json:"dSyncWaitSec"`
+	BytesSent        int64   `json:"dBytesSent"`
+	BytesReceived    int64   `json:"dBytesReceived"`
+	RMABytesReceived int64   `json:"dRMABytesReceived"`
+	Messages         int64   `json:"dMessages"`
+	RMARetries       int64   `json:"dRMARetries"`
+	RMAFailures      int64   `json:"dRMAFailures"`
+}
+
+// instantKinds maps the kinds exported as "i" (instant) records; everything
+// else is an "X" (complete) slice.
+func instantPh(k Kind) bool {
+	switch k {
+	case KindGetIssue, KindExpose, KindCrash, KindMark:
+		return true
+	}
+	return false
+}
+
+// WriteChrome writes t in Chrome trace_event JSON-object format.
+func WriteChrome(w io.Writer, t *Trace) error {
+	var buf bytes.Buffer
+	buf.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(ce chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if !first {
+			buf.WriteString(",\n")
+		} else {
+			buf.WriteString("\n")
+			first = false
+		}
+		buf.Write(b)
+		return nil
+	}
+	for pid, a := range t.Attempts {
+		margs, err := json.Marshal(metaArgs{Name: a.Label})
+		if err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", PID: pid, Args: margs}); err != nil {
+			return err
+		}
+		for tid := 0; tid < a.Ranks; tid++ {
+			targs, err := json.Marshal(metaArgs{Name: fmt.Sprintf("rank %d", tid)})
+			if err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid, Args: targs}); err != nil {
+				return err
+			}
+		}
+		for tid, evs := range a.Events {
+			for _, ev := range evs {
+				args, err := json.Marshal(eventArgs{
+					Kind:             ev.Kind.String(),
+					Phase:            ev.Phase,
+					Step:             ev.Step,
+					Peer:             ev.Peer,
+					Bytes:            ev.Bytes,
+					PhID:             ev.PhID,
+					Seq:              ev.Seq,
+					Note:             ev.Note,
+					StartSec:         ev.Start,
+					DurSec:           ev.Dur,
+					ComputeSec:       ev.Delta.ComputeSec,
+					TotalCommSec:     ev.Delta.TotalCommSec,
+					ResidualCommSec:  ev.Delta.ResidualCommSec,
+					SyncWaitSec:      ev.Delta.SyncWaitSec,
+					BytesSent:        ev.Delta.BytesSent,
+					BytesReceived:    ev.Delta.BytesReceived,
+					RMABytesReceived: ev.Delta.RMABytesReceived,
+					Messages:         ev.Delta.Messages,
+					RMARetries:       ev.Delta.RMARetries,
+					RMAFailures:      ev.Delta.RMAFailures,
+				})
+				if err != nil {
+					return err
+				}
+				ce := chromeEvent{
+					Name: ev.Name,
+					Cat:  ev.Kind.String(),
+					Ph:   "X",
+					TS:   ev.Start * 1e6,
+					PID:  pid,
+					TID:  tid,
+					Args: args,
+				}
+				if instantPh(ev.Kind) {
+					ce.Ph = "i"
+				} else {
+					ce.Dur = ev.Dur * 1e6
+				}
+				if err := emit(ce); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Reader sanity bounds: a hostile file must not make ReadChrome allocate
+// unboundedly more than its own size.
+const (
+	maxAttempts = 1 << 12
+	maxRanks    = 1 << 16
+)
+
+// ReadChrome parses data produced by WriteChrome (or any structurally
+// compatible Chrome trace) back into a Trace. Attempts are ordered by first
+// appearance of their pid; each rank's events keep file order. Unknown
+// event kinds, out-of-range ids, and non-finite times are errors.
+func ReadChrome(data []byte) (*Trace, error) {
+	var file struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	t := &Trace{}
+	attemptByPID := map[int]*Attempt{}
+	attempt := func(pid int) (*Attempt, error) {
+		if pid < 0 || pid >= maxAttempts {
+			return nil, fmt.Errorf("trace: pid %d out of range", pid)
+		}
+		if a, ok := attemptByPID[pid]; ok {
+			return a, nil
+		}
+		if len(t.Attempts) >= maxAttempts {
+			return nil, fmt.Errorf("trace: too many attempts")
+		}
+		a := &Attempt{}
+		attemptByPID[pid] = a
+		t.Attempts = append(t.Attempts, a)
+		return a, nil
+	}
+	// slots counts rank timelines allocated across every attempt; bounding
+	// the sum (not just each tid) keeps a hostile file from turning a few
+	// bytes of sparse tids into gigabytes of empty timelines.
+	slots := 0
+	growRanks := func(a *Attempt, tid int) error {
+		if tid < 0 || tid >= maxRanks {
+			return fmt.Errorf("trace: tid %d out of range", tid)
+		}
+		if tid < a.Ranks {
+			return nil
+		}
+		slots += tid + 1 - a.Ranks
+		if slots > maxRanks {
+			return fmt.Errorf("trace: more than %d rank timelines", maxRanks)
+		}
+		a.Ranks = tid + 1
+		for len(a.Events) < a.Ranks {
+			a.Events = append(a.Events, nil)
+		}
+		return nil
+	}
+	for i, ce := range file.TraceEvents {
+		switch ce.Ph {
+		case "M":
+			a, err := attempt(ce.PID)
+			if err != nil {
+				return nil, err
+			}
+			var ma metaArgs
+			if len(ce.Args) > 0 {
+				if err := json.Unmarshal(ce.Args, &ma); err != nil {
+					return nil, fmt.Errorf("trace: event %d: metadata args: %w", i, err)
+				}
+			}
+			switch ce.Name {
+			case "process_name":
+				a.Label = ma.Name
+			case "thread_name":
+				if err := growRanks(a, ce.TID); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("trace: event %d: unknown metadata record %q", i, ce.Name)
+			}
+		case "X", "i":
+			a, err := attempt(ce.PID)
+			if err != nil {
+				return nil, err
+			}
+			if err := growRanks(a, ce.TID); err != nil {
+				return nil, err
+			}
+			var ea eventArgs
+			if len(ce.Args) == 0 {
+				return nil, fmt.Errorf("trace: event %d: missing args", i)
+			}
+			if err := json.Unmarshal(ce.Args, &ea); err != nil {
+				return nil, fmt.Errorf("trace: event %d: args: %w", i, err)
+			}
+			kind, ok := ParseKind(ea.Kind)
+			if !ok {
+				return nil, fmt.Errorf("trace: event %d: unknown kind %q", i, ea.Kind)
+			}
+			ev := Event{
+				Kind:  kind,
+				Name:  ce.Name,
+				Phase: ea.Phase,
+				Step:  ea.Step,
+				Peer:  ea.Peer,
+				Bytes: ea.Bytes,
+				PhID:  ea.PhID,
+				Seq:   ea.Seq,
+				Note:  ea.Note,
+				Start: ea.StartSec,
+				Dur:   ea.DurSec,
+				Delta: StatDelta{
+					ComputeSec:       ea.ComputeSec,
+					TotalCommSec:     ea.TotalCommSec,
+					ResidualCommSec:  ea.ResidualCommSec,
+					SyncWaitSec:      ea.SyncWaitSec,
+					BytesSent:        ea.BytesSent,
+					BytesReceived:    ea.BytesReceived,
+					RMABytesReceived: ea.RMABytesReceived,
+					Messages:         ea.Messages,
+					RMARetries:       ea.RMARetries,
+					RMAFailures:      ea.RMAFailures,
+				},
+			}
+			if err := checkEvent(ev); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			a.Events[ce.TID] = append(a.Events[ce.TID], ev)
+		default:
+			return nil, fmt.Errorf("trace: event %d: unsupported phase %q", i, ce.Ph)
+		}
+	}
+	return t, nil
+}
+
+// checkEvent validates one parsed event's invariants.
+func checkEvent(ev Event) error {
+	for _, v := range []float64{ev.Start, ev.Dur, ev.Delta.ComputeSec, ev.Delta.TotalCommSec, ev.Delta.ResidualCommSec, ev.Delta.SyncWaitSec} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite time %v", v)
+		}
+	}
+	if ev.Dur < 0 {
+		return fmt.Errorf("negative duration %v", ev.Dur)
+	}
+	if ev.Step < -1 {
+		return fmt.Errorf("step %d < -1", ev.Step)
+	}
+	if ev.Peer < -1 {
+		return fmt.Errorf("peer %d < -1", ev.Peer)
+	}
+	return nil
+}
+
+// Validate checks the structural invariants WriteChrome guarantees: per
+// attempt, Events has exactly Ranks timelines, every event passes
+// checkEvent, and peers reference ranks of the attempt.
+func Validate(t *Trace) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil trace")
+	}
+	for ai, a := range t.Attempts {
+		if len(a.Events) > a.Ranks {
+			return fmt.Errorf("trace: attempt %d: %d timelines for %d ranks", ai, len(a.Events), a.Ranks)
+		}
+		for rank, evs := range a.Events {
+			for i, ev := range evs {
+				if err := checkEvent(ev); err != nil {
+					return fmt.Errorf("trace: attempt %d rank %d event %d: %w", ai, rank, i, err)
+				}
+				if ev.Peer >= a.Ranks {
+					return fmt.Errorf("trace: attempt %d rank %d event %d: peer %d outside machine of %d ranks", ai, rank, i, ev.Peer, a.Ranks)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedTrace builds a tiny two-rank, two-attempt trace exercising every
+// event field the Chrome exporter serializes.
+func fuzzSeedTrace() *Trace {
+	rec := NewRecorder(2)
+	l0, l1 := rec.Rank(0), rec.Rank(1)
+	l0.SetPhase("scan")
+	l0.SetStep(1)
+	l0.Append(Event{Kind: KindCompute, Name: "score", Peer: -1, Start: 0, Dur: 0.5,
+		Delta: StatDelta{ComputeSec: 0.5}})
+	l1.SetPhase("scan")
+	l1.Append(Event{Kind: KindSend, Name: "blk", Peer: 0, Bytes: 64, Start: 0.1, Dur: 0.1,
+		Delta: StatDelta{TotalCommSec: 0.1, BytesSent: 64, Messages: 1}})
+	l1.Append(Event{Kind: KindCrash, Name: "crash", Peer: -1, Note: "injected", Start: 0.2})
+	first := rec.Snapshot("attempt 0")
+	rec.Reset()
+	l0.SetPhase("report")
+	l0.Append(Event{Kind: KindCollective, Name: "gather", Peer: -1, PhID: "world", Seq: 3,
+		Start: 1, Dur: 1, Delta: StatDelta{SyncWaitSec: 1}})
+	return &Trace{Attempts: []*Attempt{first, rec.Snapshot("attempt 1")}}
+}
+
+// FuzzReadChrome hammers the trace JSON reader with arbitrary bytes: it
+// must never panic, and any input it accepts must survive a write-read
+// round trip byte-identically (the canonical-export property the golden
+// tests pin).
+func FuzzReadChrome(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteChrome(&seed, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`{"traceEvents":[{"ph":"X","pid":1,"tid":0,"ts":0,"dur":1,"name":"compute"}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := ReadChrome(b)
+		if err != nil {
+			return
+		}
+		var out1 bytes.Buffer
+		if err := WriteChrome(&out1, tr); err != nil {
+			t.Fatalf("accepted trace does not export: %v", err)
+		}
+		tr2, err := ReadChrome(out1.Bytes())
+		if err != nil {
+			t.Fatalf("canonical export does not re-read: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := WriteChrome(&out2, tr2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatal("write-read round trip is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// ASCII trace summary: the -trace-summary rendering of phase rollups,
+// per-step imbalance, and the critical path, via internal/report tables.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pepscale/internal/report"
+)
+
+// topSlowest is the number of slowest ranks listed in the imbalance report.
+const topSlowest = 4
+
+// WriteSummary renders a human-readable analysis of the trace: one block
+// per attempt with its phase rollup, per-step load-imbalance table, the
+// slowest ranks, and the critical-path breakdown.
+func WriteSummary(w io.Writer, t *Trace) error {
+	if t == nil || len(t.Attempts) == 0 {
+		_, err := fmt.Fprintln(w, "trace: empty")
+		return err
+	}
+	for ai, a := range t.Attempts {
+		events := 0
+		for _, evs := range a.Events {
+			events += len(evs)
+		}
+		if _, err := fmt.Fprintf(w, "=== attempt %d: %s (%d ranks, %d events, makespan %ss) ===\n\n",
+			ai, a.Label, a.Ranks, events, report.Seconds(a.Makespan())); err != nil {
+			return err
+		}
+
+		pt := report.NewTable("Per-phase rollup (summed over ranks)",
+			"phase", "events", "compute s", "residual-comm s", "sync-wait s", "total-comm s", "sent", "received")
+		for _, pr := range a.PhaseRollups() {
+			name := pr.Phase
+			if name == "" {
+				name = "(untagged)"
+			}
+			pt.Add(name, report.Count(int64(pr.Events)),
+				report.Seconds(pr.Delta.ComputeSec),
+				report.Seconds(pr.Delta.ResidualCommSec),
+				report.Seconds(pr.Delta.SyncWaitSec),
+				report.Seconds(pr.Delta.TotalCommSec),
+				report.Count(pr.Delta.BytesSent),
+				report.Count(pr.Delta.BytesReceived))
+		}
+		if _, err := fmt.Fprintln(w, pt.String()); err != nil {
+			return err
+		}
+
+		if steps := a.StepStats(); len(steps) > 0 {
+			st := report.NewTable("Per-step load imbalance",
+				"step", "ranks", "max compute s", "mean compute s", "skew", "residual s", "sync s")
+			for _, s := range steps {
+				skew := "inf"
+				if !math.IsInf(s.Skew(), 1) {
+					skew = fmt.Sprintf("%.3f", s.Skew())
+				}
+				st.Add(fmt.Sprintf("%d", s.Step),
+					fmt.Sprintf("%d", s.Participants),
+					report.Seconds(s.MaxComputeSec),
+					report.Seconds(s.MeanComputeSec),
+					skew,
+					report.Seconds(s.ResidualCommSec),
+					report.Seconds(s.SyncWaitSec))
+			}
+			if _, err := fmt.Fprintln(w, st.String()); err != nil {
+				return err
+			}
+		}
+
+		slow := a.SlowestRanks(topSlowest)
+		if len(slow) > 0 {
+			if _, err := fmt.Fprint(w, "Slowest ranks by compute:"); err != nil {
+				return err
+			}
+			for _, rc := range slow {
+				if _, err := fmt.Fprintf(w, "  rank %d (%ss)", rc.Rank, report.Seconds(rc.ComputeSec)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+
+		path := a.CriticalPath()
+		bd := PathBreakdown(path)
+		if _, err := fmt.Fprintf(w,
+			"Critical path: %d events; compute %ss, residual-comm %ss, sync-wait %ss\n\n",
+			len(path), report.Seconds(bd.ComputeSec), report.Seconds(bd.ResidualCommSec), report.Seconds(bd.SyncWaitSec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"pepscale/internal/spectrum"
 	"pepscale/internal/synth"
 	"pepscale/internal/topk"
+	"pepscale/internal/trace"
 )
 
 // Core search types, re-exported from the engine packages.
@@ -35,6 +36,9 @@ type (
 	Algorithm = core.Algorithm
 	// Input bundles the database FASTA image with the query spectra.
 	Input = core.Input
+	// ExecutionTrace is a run's virtual-clock event trace (one attempt per
+	// machine run), collected when Job.Trace is set.
+	ExecutionTrace = trace.Trace
 )
 
 // The engines.
@@ -127,6 +131,10 @@ type Job struct {
 	Cost CostModel
 	// Options are the search parameters (default DefaultOptions).
 	Options *Options
+	// Trace records a per-rank event trace of the run on the virtual
+	// clock, attached to Result.Trace. Off by default: the disabled
+	// tracer adds no work to the scoring hot path.
+	Trace bool
 }
 
 // Run executes the job against a FASTA database image and query spectra.
@@ -141,9 +149,20 @@ func (j Job) Run(db []byte, queries []*Spectrum) (*Result, error) {
 	if j.Options != nil {
 		opt = *j.Options
 	}
-	cfg := cluster.Config{Ranks: j.Ranks, Cost: j.Cost}
+	cfg := cluster.Config{Ranks: j.Ranks, Cost: j.Cost, Trace: j.Trace}
 	return core.Run(j.Algorithm, cfg, Input{DBData: db, Queries: queries}, opt)
 }
+
+// WriteTrace exports a trace in Chrome trace_event JSON (load it in
+// Perfetto or chrome://tracing; timestamps are virtual seconds as µs).
+func WriteTrace(w io.Writer, t *ExecutionTrace) error { return trace.WriteChrome(w, t) }
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(data []byte) (*ExecutionTrace, error) { return trace.ReadChrome(data) }
+
+// WriteTraceSummary renders the trace analysis report: per-phase rollups,
+// per-step load imbalance, and the critical-path decomposition.
+func WriteTraceSummary(w io.Writer, t *ExecutionTrace) error { return trace.WriteSummary(w, t) }
 
 // SearchSerial runs the single-processor reference implementation.
 func SearchSerial(db []byte, queries []*Spectrum, opt Options) (*Result, error) {
