@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short bench bench-json race chaos fuzz-short cover examples experiments quick-experiments clean
+.PHONY: all check build vet lint test test-short bench bench-json bench-smoke race chaos fuzz-short cover examples experiments quick-experiments clean
 
 all: build vet test
 
@@ -75,6 +75,14 @@ bench-json:
 	{ $(GO) test -bench 'BenchmarkScorers' -benchmem -run '^$$' . ; \
 	  $(GO) test -bench 'BenchmarkScanKernel|BenchmarkEngineHostTime|BenchmarkResilient' -run '^$$' ./internal/core/ ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+
+# bench-smoke runs every scan-kernel benchmark for a single iteration: no
+# timing signal, but it executes the benchmark fixtures end to end (including
+# the fragment-index warm-up scans and their zero-alloc expectations), so a
+# kernel that panics, diverges, or allocates per candidate fails CI without
+# the cost of a timed run.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkScanKernel' -benchtime 1x -run '^$$' ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart

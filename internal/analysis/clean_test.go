@@ -67,7 +67,8 @@ func TestRepoAnnotationsPresent(t *testing.T) {
 	}
 	root := moduleRoot(t)
 	pkgs, err := analysis.Load(root,
-		"./internal/core", "./internal/score", "./internal/topk", "./internal/cluster")
+		"./internal/core", "./internal/score", "./internal/topk", "./internal/cluster",
+		"./internal/fragidx")
 	if err != nil {
 		t.Fatalf("loading annotated packages: %v", err)
 	}
@@ -81,6 +82,7 @@ func TestRepoAnnotationsPresent(t *testing.T) {
 		"pepscale/internal/score.CandidatePrep",
 		"pepscale/internal/core.scanState",
 		"pepscale/internal/cluster.Rank",
+		"pepscale/internal/fragidx.Scratch",
 	} {
 		if !marked[want] {
 			t.Errorf("type %s has lost its //pepvet:perrank marker", want)

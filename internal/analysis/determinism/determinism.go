@@ -1,8 +1,8 @@
 // Package determinism implements the pepvet analyzer that keeps
 // nondeterminism out of the packages whose outputs must be bit-identical
 // across runs, hosts, and GOMAXPROCS settings: the engine scan, the scoring
-// models, the digest index, the synthetic data generators, and the virtual
-// cluster whose clocks the experiments report.
+// models, the digest and fragment indexes, the synthetic data generators,
+// and the virtual cluster whose clocks the experiments report.
 //
 // Within those packages it forbids
 //
@@ -35,6 +35,7 @@ var Packages = []string{
 	"internal/cluster",
 	"internal/core",
 	"internal/digest",
+	"internal/fragidx",
 	"internal/score",
 	"internal/synth",
 	"internal/trace",

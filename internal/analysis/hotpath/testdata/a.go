@@ -3,7 +3,10 @@
 // patterns left silent, and one //pepvet:allow suppression.
 package a
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 type state struct{ buf []int }
 
@@ -51,6 +54,24 @@ func assignBox(vs []int) {
 	var iface any
 	iface = vs // want "conversion of \[\]int to interface"
 	_ = iface
+}
+
+// walkRows is shaped like an inverted-index row walk done wrong: locating
+// the window with a capturing sort.Search closure and collecting postings
+// into an unhinted local. The real walks (internal/fragidx) advance
+// per-row cursors and accumulate into field-backed scratch, so neither
+// construct appears on their paths.
+//
+//pepvet:hotpath
+func walkRows(rowStart []int32, windows [][2]int32) []int32 {
+	var hits []int32
+	for _, w := range windows {
+		i := sort.Search(len(rowStart), func(k int) bool { return rowStart[k] >= w[0] }) // want "closure captures"
+		for ; i < len(rowStart) && rowStart[i] < w[1]; i++ {
+			hits = append(hits, rowStart[i]) // want "append grows hits"
+		}
+	}
+	return hits
 }
 
 // hotAllowed shows the escape hatch: the formatting happens once per scan

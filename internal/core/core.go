@@ -66,7 +66,25 @@ type Options struct {
 	Masking bool
 	// Groups is the sub-group count of the SubGroup engine (must divide p).
 	Groups int
+	// ScanMode selects the block-scan kernel: "" or "peptide" for the
+	// peptide-major sweep (default), "query" for the historical query-major
+	// reference, "fragidx" for the inverted fragment-index path. All three
+	// produce bit-identical results — hits, Offer order, stats, traces —
+	// and differ only in host-side speed. Library-backed scoring falls back
+	// from "fragidx" to the peptide-major sweep (the index mirrors the
+	// on-the-fly fragment generator, not curated spectra).
+	ScanMode string
 }
+
+// ScanMode values for Options.ScanMode.
+const (
+	// ScanModePeptideMajor is the batched index-order sweep (the default).
+	ScanModePeptideMajor = "peptide"
+	// ScanModeQueryMajor is the historical per-query reference scan.
+	ScanModeQueryMajor = "query"
+	// ScanModeFragIdx is the inverted fragment-index scan (internal/fragidx).
+	ScanModeFragIdx = "fragidx"
+)
 
 // DefaultOptions returns the standard configuration: τ=50, δ=3 Da,
 // likelihood scoring, masking on.
@@ -96,6 +114,11 @@ func (o Options) Validate() error {
 	}
 	if _, err := score.New(o.ScorerName, o.Score); err != nil {
 		return err
+	}
+	switch o.ScanMode {
+	case "", ScanModePeptideMajor, ScanModeQueryMajor, ScanModeFragIdx:
+	default:
+		return fmt.Errorf("core: unknown scan mode %q (want peptide, query, or fragidx)", o.ScanMode)
 	}
 	return nil
 }
@@ -239,10 +262,11 @@ const prefilterCostFraction = 0.15
 // returned stats into virtual time so the same scan logic serves both the
 // engines and the pure serial reference.
 //
-// The scan is peptide-major (see scanState.scan); this wrapper runs it with
-// throwaway sweep state. Engine loops that scan repeatedly hold a persistent
-// scanState instead, which keeps the sweep allocation-free and preserves the
-// per-query scoring caches across blocks.
+// The kernel is selected by Options.ScanMode — the peptide-major sweep by
+// default (see scanState.scan); this wrapper runs it with throwaway sweep
+// state. Engine loops that scan repeatedly hold a persistent scanState
+// instead, which keeps the sweep allocation-free and preserves the per-query
+// scoring caches (and any cached fragment index) across blocks.
 func scanIndex(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
 	var ss scanState
 	return ss.scan(qs, lists, ix, sc, opt, idOf)

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"pepscale/internal/digest"
+	"pepscale/internal/fragidx"
 	"pepscale/internal/score"
 	"pepscale/internal/spectrum"
 	"pepscale/internal/topk"
@@ -80,6 +81,14 @@ type scanState struct {
 	deltaBuf   []float64
 	quickBins  []int32
 	quickFrags []spectrum.Fragment
+
+	// Fragment-index state (ScanModeFragIdx): the inverted index of the
+	// resident block, cached by digest.Index identity so rescans of the
+	// same block reuse it, plus the walk accumulators.
+	fidx     *fragidx.Index
+	fidxFor  *digest.Index
+	fscr     fragidx.Scratch
+	passTile []fragidx.PassQuery
 }
 
 // addActive inserts query position qi into its charge group, creating the
@@ -101,23 +110,31 @@ func (ss *scanState) addActive(charge int, qi int32) {
 	ss.nGroups++
 }
 
-// scan runs the peptide-major sweep; see the package comment above for the
-// design and the bit-identity argument.
+// scan dispatches one block scan to the kernel selected by Options.ScanMode.
+// All kernels are bit-identical in hits, Offer order, and stats; the virtual
+// clock charges the same scan cost regardless of the host-side path (see
+// scanComputeSec), so traces are byte-identical across modes too.
+func (ss *scanState) scan(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
+	switch {
+	case opt.ScanMode == ScanModeQueryMajor:
+		return scanIndexQueryMajor(qs, lists, ix, sc, opt, idOf)
+	case opt.ScanMode == ScanModeFragIdx && opt.Score.Library == nil:
+		// A spectral library changes candidates' fragment structure per
+		// lookup, which the index (built from the generator) cannot mirror;
+		// library-backed runs fall through to the peptide-major sweep.
+		return ss.scanFragIdx(qs, lists, ix, sc, opt, idOf)
+	default:
+		return ss.scanPeptideMajor(qs, lists, ix, sc, opt, idOf)
+	}
+}
+
+// bindQueries binds per-query batch state, keeping each query's caches when
+// the caller passes the same query in the same slot as last scan (engine
+// loops rescanning a stable query set against successive blocks).
 //
 //pepvet:hotpath
-func (ss *scanState) scan(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
-	var st scanStats
-	n := len(qs)
-	ixLen := ix.Len()
-	if n == 0 || ixLen == 0 {
-		return st
-	}
-	mods := opt.Digest.Mods
-
-	// Bind per-query batch state, keeping each query's caches when the
-	// caller passes the same query in the same slot as last scan (engine
-	// loops rescanning a stable query set against successive blocks).
-	for len(ss.bqs) < n {
+func (ss *scanState) bindQueries(qs []*score.Query) {
+	for len(ss.bqs) < len(qs) {
 		ss.bqs = append(ss.bqs, score.BatchQuery{})
 	}
 	for i, q := range qs {
@@ -125,9 +142,16 @@ func (ss *scanState) scan(qs []*score.Query, lists []*topk.List, ix *digest.Inde
 			ss.bqs[i] = score.Batch(q)
 		}
 	}
+}
 
-	// Sort query positions by parent mass; both window bounds are then
-	// monotone, so all windows are found in near-linear total time.
+// computeWindows sorts query positions by parent mass and computes every
+// query's candidate window with the galloping bounds — both window edges
+// are monotone along the mass order, so the total cost is near-linear. The
+// window sum is charged to st.Candidates.
+//
+//pepvet:hotpath
+func (ss *scanState) computeWindows(qs []*score.Query, ix *digest.Index, opt Options, st *scanStats) {
+	n := len(qs)
 	ss.order = ss.order[:0]
 	for i := 0; i < n; i++ {
 		ss.order = append(ss.order, int32(i))
@@ -147,6 +171,23 @@ func (ss *scanState) scan(qs []*score.Query, lists []*topk.List, ix *digest.Inde
 		ss.wins[qi] = scanWindow{start: start, end: end}
 		st.Candidates += int64(end - start)
 	}
+}
+
+// scanPeptideMajor runs the peptide-major sweep; see the package comment
+// above for the design and the bit-identity argument.
+//
+//pepvet:hotpath
+func (ss *scanState) scanPeptideMajor(qs []*score.Query, lists []*topk.List, ix *digest.Index, sc score.Scorer, opt Options, idOf func(int32) string) scanStats {
+	var st scanStats
+	n := len(qs)
+	ixLen := ix.Len()
+	if n == 0 || ixLen == 0 {
+		return st
+	}
+	mods := opt.Digest.Mods
+
+	ss.bindQueries(qs)
+	ss.computeWindows(qs, ix, opt, &st)
 
 	ss.nGroups = 0
 	active := 0 // live members across all groups

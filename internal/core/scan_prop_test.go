@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -39,6 +40,16 @@ var scanVariants = []scanVariant{
 	}},
 	{"wide", func(o *Options, s *synth.SpectraSpec) {
 		o.Tol = chem.DaltonTolerance(40)
+	}},
+	{"keepall", func(o *Options, s *synth.SpectraSpec) {
+		// MinScore at -inf keeps zero and negative scores, exercising the
+		// fragment-index path's exact-zero and no-prune branches.
+		o.MinScore = math.Inf(-1)
+	}},
+	{"noisy", func(o *Options, s *synth.SpectraSpec) {
+		// Dense spectra stress the walk accumulators and the tightness of
+		// the likelihood estimate at high bin occupancy.
+		s.NoisePeaks = 60
 	}},
 }
 
@@ -85,11 +96,17 @@ func TestScanPeptideMajorMatchesQueryMajor(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
+					fragSc, err := score.New(scorer, opt.Score)
+					if err != nil {
+						t.Fatal(err)
+					}
 					refLists := make([]*topk.List, len(qs))
 					batLists := make([]*topk.List, len(qs))
+					fragLists := make([]*topk.List, len(qs))
 					for i := range qs {
 						refLists[i] = topk.New(opt.Tau)
 						batLists[i] = topk.New(opt.Tau)
+						fragLists[i] = topk.New(opt.Tau)
 					}
 					refSt := scanIndexQueryMajor(qs, refLists, ix, refSc, opt, idOf)
 					var ss scanState
@@ -97,26 +114,46 @@ func TestScanPeptideMajorMatchesQueryMajor(t *testing.T) {
 					if refSt != batSt {
 						t.Errorf("%s: scanStats differ: query-major %+v, peptide-major %+v", scorer, refSt, batSt)
 					}
+					fragOpt := opt
+					fragOpt.ScanMode = ScanModeFragIdx
+					var fss scanState
+					fragSt := fss.scan(qs, fragLists, ix, fragSc, fragOpt, idOf)
+					if refSt != fragSt {
+						t.Errorf("%s: scanStats differ: query-major %+v, fragidx %+v", scorer, refSt, fragSt)
+					}
 					for qi := range qs {
 						if !reflect.DeepEqual(refLists[qi].Hits(), batLists[qi].Hits()) {
 							t.Errorf("%s: query %d hits differ:\nquery-major  %+v\npeptide-major %+v",
 								scorer, qi, refLists[qi].Hits(), batLists[qi].Hits())
+						}
+						if !reflect.DeepEqual(refLists[qi].Hits(), fragLists[qi].Hits()) {
+							t.Errorf("%s: query %d hits differ:\nquery-major %+v\nfragidx     %+v",
+								scorer, qi, refLists[qi].Hits(), fragLists[qi].Hits())
 						}
 					}
 					// Rescanning on the same warmed state (as engine transport
 					// loops do block after block) must stay stable: the memo
 					// caches may be hit instead of filled, never drift.
 					reLists := make([]*topk.List, len(qs))
+					fragReLists := make([]*topk.List, len(qs))
 					for i := range qs {
 						reLists[i] = topk.New(opt.Tau)
+						fragReLists[i] = topk.New(opt.Tau)
 					}
 					reSt := ss.scan(qs, reLists, ix, batSc, opt, idOf)
 					if reSt != batSt {
 						t.Errorf("%s: warmed rescan stats differ: first %+v, rescan %+v", scorer, batSt, reSt)
 					}
+					fragReSt := fss.scan(qs, fragReLists, ix, fragSc, fragOpt, idOf)
+					if fragReSt != fragSt {
+						t.Errorf("%s: warmed fragidx rescan stats differ: first %+v, rescan %+v", scorer, fragSt, fragReSt)
+					}
 					for qi := range qs {
 						if !reflect.DeepEqual(batLists[qi].Hits(), reLists[qi].Hits()) {
 							t.Errorf("%s: query %d warmed rescan hits differ", scorer, qi)
+						}
+						if !reflect.DeepEqual(fragLists[qi].Hits(), fragReLists[qi].Hits()) {
+							t.Errorf("%s: query %d warmed fragidx rescan hits differ", scorer, qi)
 						}
 					}
 				}

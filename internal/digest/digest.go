@@ -362,6 +362,12 @@ func (ix *Index) Len() int { return len(ix.peps) }
 // At returns the i-th peptide in mass order.
 func (ix *Index) At(i int) Peptide { return ix.peps[i] }
 
+// Peptides returns the full mass-ordered peptide slice — the fragment
+// enumeration hook of the inverted fragment index, which iterates every
+// candidate once per block without the per-element copy of At. The slice is
+// owned by the index and must not be modified.
+func (ix *Index) Peptides() []Peptide { return ix.peps }
+
 // Window returns the index range [start, end) of peptides with mass in
 // [lo, hi].
 func (ix *Index) Window(lo, hi float64) (start, end int) {

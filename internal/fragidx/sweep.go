@@ -1,0 +1,292 @@
+package fragidx
+
+import (
+	"pepscale/internal/score"
+)
+
+// The bin-major passes sweep.
+//
+// The row-cursor walk (WalkPasses) is query-major: each query scatters
+// across the rows its peaks occupy, so a scan's row accesses interleave
+// hundreds of independent row streams and nearly every posting line is a
+// demand miss. SweepPasses transposes the loop: it processes a TILE of
+// mass-ordered queries at once, inverting their peak lists into per-row
+// entry lists and then visiting the tier's rows in ascending order — each
+// row's postings are read as one sequential run, and the per-candidate
+// accumulator lanes of a tile are small enough to stay cache-resident.
+// Tiles partition the scan's queries in ascending window-start order, so
+// the per-row cursors advance monotonically across tiles exactly as they
+// do across queries in the row-major walk.
+//
+// The sweep's lanes differ from the row-major walk's in two ways that keep
+// the per-posting state to one 16-byte record: the query's log(1−p0) is
+// added per matched term instead of once per count at recombination time
+// (so no count array is needed — a weight sum of strictly positive weights
+// is zero exactly when the count is), and the term and weight sums are
+// interleaved so each posting touches a single cache line. Both are pure
+// summation rearrangements of the same matched log-ratio terms, which
+// score.FragBoundMargin covers — the bound stays sound and the scan's
+// output stays bit-identical because survivors are full-scored.
+
+// PassQuery describes one query's share of a passes sweep tile.
+type PassQuery struct {
+	// Tier is the query's KindPasses tier; nil accumulates nothing (the
+	// scan then full-scores the query's window).
+	Tier *Tier
+	// Bins/Intens are the query's ascending occupied peak bins with
+	// normalized intensities (score.BatchQuery.Peaks).
+	Bins   []int32
+	Intens []float64
+	// Start/End bound the query's candidate window.
+	Start, End int
+	// LP0/L1P0 are the query's occupancy logs (score.BatchQuery.OccLogs).
+	LP0, L1P0 float64
+}
+
+// sweep holds the reusable state of SweepPasses between calls.
+type sweep struct {
+	// Per swept query: lane base offset, window start, log(p0).
+	base  []int32
+	start []int32
+	lp0   []float64
+
+	// Per-candidate lanes, four float64 per candidate: interleaved
+	// (term sum, weight sum) pairs at 4·(base+ord−start), model pass first,
+	// null pass at +2. Each matched term adds the query's log(1−p0), so the
+	// recombination needs no count — see the package comment.
+	acc []float64
+
+	// Row-inversion scratch: counting-sort of per-(row, query) entries
+	// carrying the query's window bounds, peak weight, lane base, and
+	// log(1−p0).
+	rowCnt  []int32
+	entRow  []int32
+	entSt   []int32
+	entEn   []int32
+	entLane []int32
+	entW    []float64
+	entL1   []float64
+
+	// Distinct tiers of the current tile, first-appearance order.
+	tiers []*Tier
+}
+
+// SweepPasses runs the bin-major passes accumulation for one tile of
+// queries, replacing any previous tile's lanes. Tiles must be presented in
+// ascending window-start order per tier (the scan's mass order), the
+// row-cursor invariant shared with the row-major walks.
+//
+//pepvet:hotpath
+func (s *Scratch) SweepPasses(qs []PassQuery) {
+	w := &s.sweep
+	if cap(w.base) < len(qs) {
+		w.base = make([]int32, len(qs))
+		w.start = make([]int32, len(qs))
+		w.lp0 = make([]float64, len(qs))
+	}
+	w.base = w.base[:len(qs)]
+	w.start = w.start[:len(qs)]
+	w.lp0 = w.lp0[:len(qs)]
+	total := 0
+	for i := range qs {
+		q := &qs[i]
+		w.base[i] = int32(total)
+		w.start[i] = int32(q.Start)
+		w.lp0[i] = q.LP0
+		if q.Tier != nil && q.End > q.Start {
+			total += q.End - q.Start
+		}
+	}
+	if cap(w.acc) < 4*total {
+		w.acc = make([]float64, 4*total)
+	}
+	w.acc = w.acc[:4*total]
+	for i := range w.acc {
+		w.acc[i] = 0
+	}
+
+	// Group the tile's queries by tier (first-appearance order, a handful at
+	// most — one per fragment-charge cap in the tile) and sweep each tier's
+	// rows once.
+	w.tiers = w.tiers[:0]
+	for i := range qs {
+		t := qs[i].Tier
+		if t == nil {
+			continue
+		}
+		seen := false
+		for _, u := range w.tiers {
+			if u == t {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			w.tiers = append(w.tiers, t)
+		}
+	}
+	for _, t := range w.tiers {
+		s.sweepTier(t, qs)
+	}
+}
+
+// sweepTier accumulates every tier-t query of the tile in one ascending
+// pass over t's rows: per row, the tile's entries (ascending window starts)
+// share one forward cursor over the row's packed keys, so each posting is
+// crawled once per scan and the in-window payload rides the same four-byte
+// stream the cursor compares against.
+//
+//pepvet:hotpath
+func (s *Scratch) sweepTier(t *Tier, qs []PassQuery) {
+	w := &s.sweep
+	rows := len(t.rowStart) - 1
+	if rows <= 0 {
+		return
+	}
+	if cap(w.rowCnt) < rows+1 {
+		w.rowCnt = make([]int32, rows+1)
+	}
+	w.rowCnt = w.rowCnt[:rows+1]
+	for i := range w.rowCnt {
+		w.rowCnt[i] = 0
+	}
+
+	// Invert the tile's peaks: count, prefix, scatter — entries end up
+	// grouped by row (ascending) and by query order within a row, which is
+	// ascending window start.
+	nEnt := 0
+	for qi := range qs {
+		if qs[qi].Tier != t || qs[qi].End <= qs[qi].Start {
+			continue
+		}
+		for _, bin := range qs[qi].Bins {
+			r := int(bin) - int(t.minBin)
+			if r >= 0 && r < rows {
+				w.rowCnt[r+1]++
+				nEnt++
+			}
+		}
+	}
+	if nEnt == 0 {
+		return
+	}
+	for r := 0; r < rows; r++ {
+		w.rowCnt[r+1] += w.rowCnt[r]
+	}
+	if cap(w.entRow) < nEnt {
+		w.entRow = make([]int32, nEnt)
+		w.entSt = make([]int32, nEnt)
+		w.entEn = make([]int32, nEnt)
+		w.entLane = make([]int32, nEnt)
+		w.entW = make([]float64, nEnt)
+		w.entL1 = make([]float64, nEnt)
+	}
+	w.entRow = w.entRow[:nEnt]
+	w.entSt = w.entSt[:nEnt]
+	w.entEn = w.entEn[:nEnt]
+	w.entLane = w.entLane[:nEnt]
+	w.entW = w.entW[:nEnt]
+	w.entL1 = w.entL1[:nEnt]
+	// rowCnt[r] is now the first entry slot of row r; the scatter advances it
+	// to the row's end (rowCnt is scratch, so the mutation is fine).
+	for qi := range qs {
+		q := &qs[qi]
+		if q.Tier != t || q.End <= q.Start {
+			continue
+		}
+		lane := 4 * (int(w.base[qi]) - q.Start)
+		for pk, bin := range q.Bins {
+			r := int(bin) - int(t.minBin)
+			if r < 0 || r >= rows {
+				continue
+			}
+			at := w.rowCnt[r]
+			w.rowCnt[r]++
+			w.entRow[at] = int32(r)
+			w.entSt[at] = int32(q.Start)
+			w.entEn[at] = int32(q.End)
+			w.entLane[at] = int32(lane)
+			w.entW[at] = 0.5 + 0.5*q.Intens[pk]
+			w.entL1[at] = q.L1P0
+		}
+	}
+
+	cur := s.cursorFor(t)
+	keys := t.keys
+	lens := t.lens
+	terms := t.terms
+	for e := 0; e < nEnt; {
+		r := int(w.entRow[e])
+		rowEnd := int(t.rowStart[r+1])
+		pos := int(cur[r])
+		if base := int(t.rowStart[r]); pos < base {
+			pos = base
+		}
+		for ; e < nEnt && int(w.entRow[e]) == r; e++ {
+			loKey := uint32(w.entSt[e]) << keyOrdShift
+			hiKey := uint32(w.entEn[e]) << keyOrdShift
+			for pos+4 <= rowEnd && keys[pos+3] < loKey {
+				pos += 4
+			}
+			for pos < rowEnd && keys[pos] < loKey {
+				pos++
+			}
+			if pos >= rowEnd || keys[pos] >= hiKey {
+				continue
+			}
+			pw := w.entW[e]
+			el1 := w.entL1[e]
+			lane := int(w.entLane[e])
+			lastOrd := int32(-1)
+			var tab []float64
+			for k := pos; k < rowEnd; k++ {
+				key := keys[k]
+				if key >= hiKey {
+					break
+				}
+				ord := int32(key >> keyOrdShift)
+				if ord != lastOrd {
+					tab = terms[lens[ord]]
+					lastOrd = ord
+				}
+				slot := int(key) & keySlotMask
+				fi := lane + 4*int(ord) + 2*int(key>>keyNullShift&1)
+				w.acc[fi] += pw*tab[2*slot] - tab[2*slot+1] + el1
+				w.acc[fi+1] += pw
+			}
+		}
+		cur[r] = int32(pos)
+	}
+}
+
+// SweepAccum returns the swept Model/Null sums for query ti of the latest
+// SweepPasses tile at candidate ordinal ord (which must lie inside that
+// query's window). The match-statistic fields are zero — the likelihood
+// bound reads only Model/Null.
+//
+//pepvet:hotpath
+func (s *Scratch) SweepAccum(ti, ord int) score.MatchAccum {
+	w := &s.sweep
+	idx := 4 * (int(w.base[ti]) + ord - int(w.start[ti]))
+	lp0 := w.lp0[ti]
+	return score.MatchAccum{
+		Model: sweepLane(w, idx, lp0),
+		Null:  sweepLane(w, idx+2, lp0),
+	}
+}
+
+// sweepLane recombines one lane with the query's log(p0) — the log(1−p0)
+// count term was already folded in per matched posting. The weight sum is a
+// sum of strictly positive weights (each ≥ ½), so it is exactly zero iff no
+// posting matched; the zero short-circuit then returns exactly 0 as
+// Scratch.passSum does (and keeps a log(0) occupancy of an empty query from
+// producing NaN via 0·∞).
+//
+//pepvet:hotpath
+func sweepLane(w *sweep, idx int, lp0 float64) float64 {
+	sw := w.acc[idx+1]
+	if sw == 0 {
+		return 0
+	}
+	return w.acc[idx] - lp0*sw
+}

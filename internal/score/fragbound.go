@@ -1,0 +1,217 @@
+// Fragment-index entry points: the prefilter-aware prepared API consumed by
+// the inverted-index scan path (internal/fragidx + internal/core).
+//
+// A fragment-index scan does not generate a candidate's fragments at all.
+// Instead it walks the query's peak list through per-block postings and
+// accumulates, per candidate, the match statistics a full evaluation would
+// derive — matched-fragment counts, matched intensity, distinct bins, and
+// (for the likelihood model) the matched log-ratio terms of all four passes.
+// BoundFromAccum converts that accumulator into either the exact
+// ScorePrepared value (bit-identical, so no full evaluation is needed at
+// all) or a sound upper bound on it, which lets the scan skip Prepare +
+// ScorePrepared for every candidate that provably cannot beat MinScore or
+// the query's current top-τ threshold.
+package score
+
+import (
+	"math"
+	"sort"
+
+	"pepscale/internal/spectrum"
+)
+
+// NullShuffles exports the likelihood null-model shuffle count for the
+// fragment-index builder, which must index the exact same null peptides.
+const NullShuffles = nullShuffles
+
+// FragmentBinWidth returns the effective fragment m/z bin width (the
+// configured width, or the default when unset) — the bin geometry the
+// fragment index must share with the scorers.
+func (c Config) FragmentBinWidth() float64 { return c.binWidth() }
+
+// ShuffledInto writes the salt-th deterministic null permutation of pep
+// (and modDeltas, kept aligned) into the reusable buffers and returns the
+// extended views — the exact permutation the likelihood null model scores,
+// exposed for the fragment-index builder. The returned delta slice is nil
+// when modDeltas is nil; pepBuf is always returned for reuse.
+func ShuffledInto(pepBuf []byte, delBuf []float64, pep []byte, modDeltas []float64, salt uint64) ([]byte, []float64) {
+	pepBuf = append(pepBuf[:0], pep...)
+	var deltas []float64
+	if modDeltas != nil {
+		delBuf = append(delBuf[:0], modDeltas...)
+		deltas = delBuf
+	}
+	shuffleInPlace(pepBuf, deltas, pep, salt)
+	return pepBuf, deltas
+}
+
+// FragWalkKind selects which fragment-index walk feeds a scorer's
+// BoundFromAccum.
+type FragWalkKind uint8
+
+const (
+	// FragWalkMatch accumulates the pass-0 match statistics (counts, dot,
+	// distinct bins) — what Hyper, SharedPeaks, and XCorr bound from.
+	FragWalkMatch FragWalkKind = iota
+	// FragWalkPasses additionally accumulates the matched likelihood
+	// log-ratio terms of the model pass and every null shuffle.
+	FragWalkPasses
+)
+
+// MatchAccum is the per-candidate result of a fragment-index walk.
+type MatchAccum struct {
+	// N, B, Y count the matched pass-0 fragments (total and per series);
+	// Distinct counts distinct matched pass-0 bins. All are integer-exact,
+	// equal to the counts a slot-order evaluation would produce.
+	N, B, Y, Distinct int32
+	// Predicted is the candidate's distinct predicted pass-0 bin count
+	// (query-independent; filled from the index, not the walk).
+	Predicted int32
+	// Dot is the summed observed intensity over matched pass-0 fragments,
+	// accumulated in walk (peak-bin-major) order.
+	Dot float64
+	// Model and Null hold the likelihood walk's matched-term sums
+	// Σ (0.5+0.5·inten)·log(p1/p0) − log((1−p1)/(1−p0)) for the model pass
+	// and the null passes combined (FragWalkPasses only), reconstructed from
+	// shared per-tier term tables and the query's occupancy logs — equal to
+	// the slot-order sums up to floating-point rearrangement (covered by
+	// FragBoundMargin).
+	Model, Null float64
+}
+
+// BoundFromAccum converts a walk accumulator into (bound, exact):
+//   - exact=true: bound IS the candidate's ScorePrepared value,
+//     bit-identical, and no full evaluation is needed.
+//   - exact=false: ScorePrepared ≤ bound; a candidate whose bound cannot
+//     beat the acceptance thresholds can be skipped soundly.
+//
+// FragBoundMargin pads the non-exact bounds against the floating-point
+// reordering between walk-order and slot-order accumulation; the true
+// discrepancy is orders of magnitude smaller (see DESIGN.md).
+const FragBoundMargin = 1e-9
+
+// FragWalk implements Scorer.
+func (s *Likelihood) FragWalk() FragWalkKind { return FragWalkPasses }
+
+// BoundFromAccum implements Scorer. The estimate acc.Model − acc.Null/3 is
+// mathematically equal to the full score: every pass shares the same slot
+// structure, so the unmatched-term sum S0 = Σ_j r0[j] is common to all four
+// passes and cancels out of model − (null₁+null₂+null₃)/3, leaving exactly
+// the matched-term sums the walk accumulates. Only summation order differs,
+// so an ε-margin makes the estimate a sound upper bound.
+func (s *Likelihood) BoundFromAccum(bq *BatchQuery, acc MatchAccum) (float64, bool) {
+	est := acc.Model - acc.Null/nullShuffles
+	return est + FragBoundMargin + FragBoundMargin*math.Abs(est), false
+}
+
+// FragWalk implements Scorer.
+func (s *Hyper) FragWalk() FragWalkKind { return FragWalkMatch }
+
+// BoundFromAccum implements Scorer. A zero dot is exact: a floating-point
+// sum of nonnegative intensities is zero iff every term is zero, in which
+// case hyperFromStats returns exactly 0 in both orders. Otherwise the
+// factorial terms are integer-exact and only log(dot) needs the margin.
+func (s *Hyper) BoundFromAccum(bq *BatchQuery, acc MatchAccum) (float64, bool) {
+	if acc.Dot <= 0 {
+		return 0, true
+	}
+	const factCap = 10
+	nb, ny := int(acc.B), int(acc.Y)
+	if nb > factCap {
+		nb = factCap
+	}
+	if ny > factCap {
+		ny = factCap
+	}
+	ub := math.Log(acc.Dot*(1+FragBoundMargin)) + logFactorial(nb) + logFactorial(ny)
+	return ub + FragBoundMargin, false
+}
+
+// FragWalk implements Scorer.
+func (s *SharedPeaks) FragWalk() FragWalkKind { return FragWalkMatch }
+
+// BoundFromAccum implements Scorer. The hypergeometric score is a pure
+// function of the integer-exact (predicted, distinct) pair, so the bound is
+// always the exact ScorePrepared value.
+func (s *SharedPeaks) BoundFromAccum(bq *BatchQuery, acc MatchAccum) (float64, bool) {
+	return sharedPeaksFromStats(bq.Q, matchStats{predicted: int(acc.Predicted), distinct: int(acc.Distinct)}), true
+}
+
+// FragWalk implements Scorer.
+func (s *XCorr) FragWalk() FragWalkKind { return FragWalkMatch }
+
+// BoundFromAccum implements Scorer. The background correction subtracts a
+// nonnegative window mean, so corrected[b] ≤ observed[b] at matched bins
+// and corrected[b] ≤ 0 at unmatched predicted bins (0 outside the array) —
+// hence score ≤ 0.1·dot, padded for summation reordering.
+func (s *XCorr) BoundFromAccum(bq *BatchQuery, acc MatchAccum) (float64, bool) {
+	if acc.Dot <= 0 {
+		return 0, false
+	}
+	return 0.1*acc.Dot*(1+FragBoundMargin) + FragBoundMargin, false
+}
+
+// AppendTermBases appends the query-independent halves of the likelihood
+// log-ratio terms for candidates of length pepLen at fragment-charge cap
+// maxZ, interleaved per slot as log(p1), log(1−p1) in the AppendFragments
+// emission order (b-ion then y-ion per cleavage index and charge). A
+// fragment-index walk combines them with a query's occupancy logs (see
+// BatchQuery.OccLogs): the matched log-ratio term
+// (0.5+0.5·inten)·log(p1/p0) − log((1−p1)/(1−p0)) equals
+// w·log(p1) − log(1−p1) − w·log(p0) + log(1−p0), so one shared table serves
+// every query and the per-candidate sums differ from ScorePrepared's only
+// by floating-point rearrangement, which FragBoundMargin covers.
+func AppendTermBases(dst []float64, pepLen, maxZ int) []float64 {
+	for i := 1; i < pepLen; i++ {
+		for z := 1; z <= maxZ; z++ {
+			for _, kind := range [2]spectrum.FragmentKind{spectrum.BIon, spectrum.YIon} {
+				f := spectrum.Fragment{Kind: kind, Index: i, Charge: z}
+				p1 := 0.30 + 0.55*fragConfidence(f, pepLen)
+				dst = append(dst, math.Log(p1), math.Log(1-p1))
+			}
+		}
+	}
+	return dst
+}
+
+// OccLogs returns log(p0) and log(1−p0) for the query's bin occupancy p0,
+// computed once per BatchQuery — the per-query halves of the decomposed
+// log-ratio terms (see AppendTermBases).
+func (bq *BatchQuery) OccLogs() (lp0, l1p0 float64) {
+	if !bq.occSet {
+		bq.occLP0 = math.Log(bq.Q.occupancy)
+		bq.occL1P0 = math.Log(1 - bq.Q.occupancy)
+		bq.occSet = true
+	}
+	return bq.occLP0, bq.occL1P0
+}
+
+// Peaks returns the query's occupied bins in ascending order with their
+// normalized intensities — the walk order of the fragment-index scan. The
+// lists are built once per BatchQuery and cached.
+func (bq *BatchQuery) Peaks() (bins []int32, intens []float64) {
+	if bq.peakBins == nil {
+		q := bq.Q
+		n := len(q.Binned.Bins)
+		bq.peakBins = make([]int32, 0, n)
+		bq.peakInt = make([]float64, 0, n)
+		if q.dense != nil {
+			for i, v := range q.dense {
+				if !math.IsNaN(v) {
+					bq.peakBins = append(bq.peakBins, q.denseLo+int32(i))
+					bq.peakInt = append(bq.peakInt, v)
+				}
+			}
+		} else {
+			//pepvet:allow determinism keys are sorted below before any order-dependent use
+			for bin := range q.Binned.Bins {
+				bq.peakBins = append(bq.peakBins, bin)
+			}
+			sort.Slice(bq.peakBins, func(i, j int) bool { return bq.peakBins[i] < bq.peakBins[j] })
+			for _, bin := range bq.peakBins {
+				bq.peakInt = append(bq.peakInt, q.Binned.Bins[bin])
+			}
+		}
+	}
+	return bq.peakBins, bq.peakInt
+}

@@ -29,12 +29,11 @@ type CandidatePrep struct {
 	charge int
 	// shared marks the generation path, where a null shuffle permutes
 	// residues but keeps the fragment (Kind, Index, Charge) slot structure
-	// of the model pass, so one confidence vector (p1) serves every pass and
-	// the per-query log-ratio terms can be memoized by peptide length. A
-	// library lookup can break slot alignment between passes, so that path
-	// stores per-pass confidences and evaluates the terms directly.
+	// of the model pass, so the per-query log-ratio terms can be memoized by
+	// peptide length (see BatchQuery.lenTerms). A library lookup can break
+	// slot alignment between passes, so that path stores per-pass
+	// confidences and evaluates the terms directly.
 	shared bool
-	p1     []float64
 	nPass  int
 	pass   [1 + nullShuffles]prepPass
 	// predicted is the query-independent half of the match statistics of
@@ -77,7 +76,6 @@ func (prep *CandidatePrep) prepareSingle(cfg Config, scr *scratch, pep []byte, m
 	prep.charge = charge
 	prep.shared = false
 	prep.nPass = 1
-	prep.p1 = prep.p1[:0]
 	prep.pass[0].fill(cfg, charge, pep, modDeltas, false)
 	scr.pred.reset()
 	prep.predicted = 0
@@ -105,39 +103,67 @@ func (prep *CandidatePrep) prepareSingle(cfg Config, scr *scratch, pep []byte, m
 type BatchQuery struct {
 	// Q is the wrapped query.
 	Q *Query
-	// r1/r0 hold the memoized log-ratio terms indexed [pepLen][slot];
-	// NaN marks an unset slot (both ratios are strictly positive, so NaN is
-	// unreachable as a computed value).
-	r1 [][]float64
-	r0 [][]float64
+	// rr holds the memoized log-ratio terms indexed [pepLen], interleaved as
+	// rr[pepLen][2·slot] = log(p1/p0) and rr[pepLen][2·slot+1] =
+	// log((1−p1)/(1−p0)), so a slot's matched and unmatched terms share a
+	// cache line. Tables are filled eagerly on first use (see lenTerms).
+	rr [][]float64
+	// peakBins/peakInt cache the query's ascending occupied-bin list for the
+	// fragment-index walk (see Peaks).
+	peakBins []int32
+	peakInt  []float64
+	// occLP0/occL1P0 cache log(p0) and log(1−p0) of the query's occupancy
+	// for the fragment-index walk (see OccLogs).
+	occLP0, occL1P0 float64
+	occSet          bool
 }
 
 // Batch wraps q for batched scoring.
 func Batch(q *Query) BatchQuery { return BatchQuery{Q: q} }
 
-// lenTerms returns the memoization slots for candidates of length pepLen
-// with n fragment slots, growing and NaN-filling the per-length tables on
-// first use. For a fixed query charge, n is a pure function of pepLen, so
-// after one sweep warm-up no further allocation occurs.
-func (bq *BatchQuery) lenTerms(pepLen, n int) (r1, r0 []float64) {
-	for len(bq.r1) <= pepLen {
-		bq.r1 = append(bq.r1, nil)
-		bq.r0 = append(bq.r0, nil)
+// lenTerms returns the interleaved log-ratio table for candidates of length
+// pepLen with n fragment slots, building it eagerly on first use. For a
+// fixed query charge, n is a pure function of pepLen, so after one sweep
+// warm-up no further allocation occurs.
+//
+// Eager filling is possible because the generation path's slot layout is
+// closed-form: AppendFragments emits, for each cleavage index i (1-based)
+// and fragment charge z up to maxZ = n/(2·(pepLen−1)), the b-ion at slot
+// (i−1)·2·maxZ + 2·(z−1) and the y-ion at the slot after it — independent
+// of residue masses. Each term is the identical expression the lazy
+// per-slot fill evaluated, so scores are unchanged bit-for-bit; what the
+// eager build buys is branch-free table reads on the scan hot paths.
+func (bq *BatchQuery) lenTerms(pepLen, n int) []float64 {
+	for len(bq.rr) <= pepLen {
+		bq.rr = append(bq.rr, nil)
 	}
-	if len(bq.r1[pepLen]) < n {
-		nan := math.NaN()
-		t1 := make([]float64, n)
-		t0 := make([]float64, n)
-		for i := range t1 {
-			t1[i] = nan
-			t0[i] = nan
+	t := bq.rr[pepLen]
+	if len(t) >= 2*n {
+		return t
+	}
+	// Rebuilt from scratch rather than grown: the slot layout depends on
+	// maxZ, so a table built for a smaller slot count is not a prefix of the
+	// larger one. (In-contract a BatchQuery sees one fragment-charge cap —
+	// its query's — and this branch runs once per pepLen.)
+	t = make([]float64, 2*n)
+	if pepLen >= 2 && n > 0 {
+		maxZ := n / (2 * (pepLen - 1))
+		p0 := bq.Q.occupancy
+		s := 0
+		for i := 1; i < pepLen; i++ {
+			for z := 1; z <= maxZ; z++ {
+				for _, kind := range [2]spectrum.FragmentKind{spectrum.BIon, spectrum.YIon} {
+					f := spectrum.Fragment{Kind: kind, Index: i, Charge: z}
+					p1 := 0.30 + 0.55*fragConfidence(f, pepLen)
+					t[s] = math.Log(p1 / p0)
+					t[s+1] = math.Log((1 - p1) / (1 - p0))
+					s += 2
+				}
+			}
 		}
-		copy(t1, bq.r1[pepLen])
-		copy(t0, bq.r0[pepLen])
-		bq.r1[pepLen] = t1
-		bq.r0[pepLen] = t0
 	}
-	return bq.r1[pepLen], bq.r0[pepLen]
+	bq.rr[pepLen] = t
+	return t
 }
 
 // Prepare implements Scorer: the model fragments plus the nullShuffles
@@ -152,10 +178,6 @@ func (s *Likelihood) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float6
 		nullPep, nullDeltas := s.scr.shuffled(pep, modDeltas, k)
 		prep.pass[1+k].fill(s.cfg, charge, nullPep, nullDeltas, !prep.shared)
 	}
-	prep.p1 = prep.p1[:0]
-	if prep.shared {
-		prep.p1 = appendConfidence(prep.p1, prep.pass[0].frags, len(pep))
-	}
 }
 
 // ScorePrepared implements Scorer; bit-identical to Score for the prepared
@@ -165,10 +187,10 @@ func (s *Likelihood) Prepare(prep *CandidatePrep, pep []byte, modDeltas []float6
 func (s *Likelihood) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 {
 	var model, null float64
 	if prep.shared {
-		r1, r0 := bq.lenTerms(prep.pepLen, len(prep.pass[0].frags))
-		model = likelihoodPassCached(bq.Q, &prep.pass[0], prep.p1, r1, r0)
+		rr := bq.lenTerms(prep.pepLen, len(prep.pass[0].frags))
+		model = likelihoodPassCached(bq.Q, &prep.pass[0], rr)
 		for k := 1; k <= nullShuffles; k++ {
-			null += likelihoodPassCached(bq.Q, &prep.pass[k], prep.p1, r1, r0)
+			null += likelihoodPassCached(bq.Q, &prep.pass[k], rr)
 		}
 	} else {
 		model = likelihoodPassDirect(bq.Q, &prep.pass[0])
@@ -180,28 +202,17 @@ func (s *Likelihood) ScorePrepared(bq *BatchQuery, prep *CandidatePrep) float64 
 }
 
 // likelihoodPassCached accumulates one pass's log-likelihood from the
-// per-(query, length, slot) memo; identical term values and accumulation
-// order as Likelihood.logLikelihoodCached.
+// eagerly built per-(query, length) term table; identical term values and
+// accumulation order as Likelihood.logLikelihoodCached.
 //
 //pepvet:hotpath
-func likelihoodPassCached(q *Query, p *prepPass, p1s, r1, r0 []float64) float64 {
-	p0 := q.occupancy
+func likelihoodPassCached(q *Query, p *prepPass, rr []float64) float64 {
 	var ll float64
 	for j, bin := range p.bins {
 		if inten, ok := q.PeakInten(bin); ok {
-			r := r1[j]
-			if math.IsNaN(r) {
-				r = math.Log(p1s[j] / p0)
-				r1[j] = r
-			}
-			ll += (0.5 + 0.5*inten) * r
+			ll += (0.5 + 0.5*inten) * rr[2*j]
 		} else {
-			r := r0[j]
-			if math.IsNaN(r) {
-				r = math.Log((1 - p1s[j]) / (1 - p0))
-				r0[j] = r
-			}
-			ll += r
+			ll += rr[2*j+1]
 		}
 	}
 	return ll

@@ -166,6 +166,13 @@ type Scorer interface {
 	// model (the paper's ρ, normalized so Hyper ≈ 1). The virtual cluster
 	// charges compute time proportional to it.
 	Cost() float64
+	// FragWalk reports which fragment-index walk (see fragbound.go) feeds
+	// BoundFromAccum for this model.
+	FragWalk() FragWalkKind
+	// BoundFromAccum converts a fragment-index walk accumulator into either
+	// the exact ScorePrepared value (exact=true, bit-identical) or a sound
+	// upper bound on it (exact=false).
+	BoundFromAccum(bq *BatchQuery, acc MatchAccum) (bound float64, exact bool)
 }
 
 // New constructs a scorer by registry name: "likelihood", "hyper", or

@@ -75,16 +75,7 @@ func AppendFragments(dst []Fragment, pep []byte, modDeltas []float64, precursorC
 	if opt.MassType == chem.Average {
 		water = chem.WaterAvg
 	}
-	maxZ := opt.MaxFragmentCharge
-	if maxZ < 1 {
-		maxZ = 1
-	}
-	if pcMax := precursorCharge - 1; pcMax >= 1 && maxZ > pcMax {
-		maxZ = pcMax
-	}
-	if maxZ < 1 {
-		maxZ = 1
-	}
+	maxZ := EffectiveMaxFragmentCharge(opt, precursorCharge)
 	base := len(dst)
 	need := 2 * (n - 1) * maxZ
 	dst = growFragments(dst, need)
@@ -132,6 +123,26 @@ func AppendFragments(dst []Fragment, pep []byte, modDeltas []float64, precursorC
 		}
 	}
 	return dst
+}
+
+// EffectiveMaxFragmentCharge returns the fragment-charge cap AppendFragments
+// applies for a precursor charge: charges 1..min(MaxFragmentCharge,
+// precursorCharge-1), but at least 1, and uncapped by a precursor charge of
+// 1 (whose pcMax of 0 is ignored). It is exported so the fragment-index
+// builder can group candidates into charge tiers whose fragment sets are
+// exactly the ones AppendFragments would generate.
+func EffectiveMaxFragmentCharge(opt TheoreticalOptions, precursorCharge int) int {
+	maxZ := opt.MaxFragmentCharge
+	if maxZ < 1 {
+		maxZ = 1
+	}
+	if pcMax := precursorCharge - 1; pcMax >= 1 && maxZ > pcMax {
+		maxZ = pcMax
+	}
+	if maxZ < 1 {
+		maxZ = 1
+	}
+	return maxZ
 }
 
 // AppendBinIndices appends each fragment's m/z bin index to dst and
