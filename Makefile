@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short bench bench-json bench-smoke race chaos fuzz-short cover examples experiments quick-experiments clean
+.PHONY: all check build vet lint test test-short bench bench-json bench-smoke scale-smoke race chaos fuzz-short cover examples experiments quick-experiments clean
 
 all: build vet test
 
@@ -73,7 +73,8 @@ bench:
 # quiet machine; compare against git history before committing.
 bench-json:
 	{ $(GO) test -bench 'BenchmarkScorers' -benchmem -run '^$$' . ; \
-	  $(GO) test -bench 'BenchmarkScanKernel|BenchmarkEngineHostTime|BenchmarkResilient' -run '^$$' ./internal/core/ ; } \
+	  $(GO) test -bench 'BenchmarkScanKernel|BenchmarkEngineHostTime|BenchmarkResilient' -run '^$$' ./internal/core/ ; \
+	  $(GO) test -bench 'BenchmarkMachineScale' -run '^$$' ./internal/cluster/ ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
 # bench-smoke runs every scan-kernel benchmark for a single iteration: no
@@ -83,6 +84,19 @@ bench-json:
 # the cost of a timed run.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkScanKernel' -benchtime 1x -run '^$$' ./internal/core/
+
+# scale-smoke drives the virtual machine at cluster scale: a full 4096-rank
+# run (clean and with an injected crash), the hierarchical-vs-flat
+# bit-identity property, the hierarchical comm-time win at p ≥ 1024, and a
+# single untimed iteration of the 1024-rank machine benchmark. Catches O(p²)
+# regressions in the machine internals that the default-sized tests never
+# exercise.
+scale-smoke:
+	$(GO) test -short -count=1 \
+		-run 'MachineScale4096|HierarchicalReducesCommTime|HierarchicalCollectivesBitIdentical' \
+		./internal/cluster/
+	$(GO) test -short -count=1 -run 'AlgoAScale4096' ./internal/core/
+	$(GO) test -bench 'BenchmarkMachineScale/p=1024' -benchtime 1x -run '^$$' ./internal/cluster/
 
 examples:
 	$(GO) run ./examples/quickstart

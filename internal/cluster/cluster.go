@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pepscale/internal/trace"
 )
@@ -31,8 +32,12 @@ type Config struct {
 	Ranks int
 	// Cost is the network/compute cost model (zero value: free network).
 	Cost CostModel
-	// MailboxDepth bounds buffered point-to-point messages per receiver
-	// (default 4096).
+	// MailboxDepth bounds buffered point-to-point messages per receiver.
+	// The default scales with the machine so total buffer space stays
+	// O(p): 4096 slots per rank up to p=64, shrinking hyperbolically to 64
+	// slots at p≥4096. Depth is virtual-time-neutral (arrival times are
+	// fixed at Send; a sender parked on a full mailbox charges nothing),
+	// so the default only bounds host memory, never the virtual clock.
 	MailboxDepth int
 	// Fault is an optional deterministic fault schedule (nil: failure-free).
 	Fault *FaultPlan
@@ -50,7 +55,9 @@ type Machine struct {
 
 	mailbox []chan message
 
-	windowMu sync.Mutex
+	// windowMu is an RWMutex because window lookups (Wait's fast path,
+	// every rank, every transport step) vastly outnumber exposures.
+	windowMu sync.RWMutex
 	windows  map[windowKey]*window
 
 	coll  *phaser
@@ -73,15 +80,39 @@ type Machine struct {
 	abortErr  error
 
 	// Blocked-state registry behind blockMu: which primitive each rank is
-	// parked in (blocked), plus per-pair message counters (sent/pulled,
-	// indexed to*p+from) so the stuck-rank analysis can see in-flight
-	// mailbox traffic it cannot inspect through the channel. Ranks register
-	// lazily — only once the machine carries a failure — keeping the
-	// failure-free path free of registry traffic.
-	blockMu sync.Mutex
-	blocked []blockInfo
-	sent    []int64
-	pulled  []int64
+	// parked in (blocked), plus per-receiver in-flight message counts
+	// (inflight[to][from] = messages sent but not yet pulled) so the
+	// stuck-rank analysis can see mailbox traffic it cannot inspect
+	// through the channel. Sparse maps replace the former p×p counter
+	// arrays, which cost 268 MB at p=4096. Ranks register lazily — only
+	// once the machine carries a failure — keeping the failure-free path
+	// free of registry traffic.
+	blockMu  sync.Mutex
+	blocked  []blockInfo
+	inflight []map[int]int64
+
+	// stateVer counts mutations of every input the stuck-rank analysis
+	// reads (blocked registry, in-flight counts, failures, finished
+	// bodies, window exposures). doomed caches its fixpoint verdicts under
+	// anMu keyed by this version, so a wave of p survivors observing one
+	// failure costs one O(p) evaluation per state change instead of p
+	// fresh O(p²) evaluations.
+	stateVer atomic.Uint64
+
+	// Analysis scratch behind anMu: machine-owned buffers reused across
+	// doomed evaluations (no per-call allocation), plus the cached
+	// verdicts and the stateVer they correspond to.
+	anMu       sync.Mutex
+	anVer      uint64
+	anValid    bool
+	anCan      []bool
+	anBlocked  []blockInfo
+	anFailed   []bool
+	anDone     []bool
+	anAvailAny []bool // rank has ≥1 in-flight message from another rank
+	anAvailPk  []bool // blockRecv(peer): in-flight message from that peer
+	anWinOpen  []bool // blockWindow: the awaited window is exposed
+	anRound    map[*phRound]int8
 
 	// Failure bookkeeping behind failMu: which ranks failed (crash or
 	// exhausted transfer retries), the first failure's rank and virtual
@@ -148,13 +179,28 @@ type blockInfo struct {
 // another rank failed.
 var ErrAborted = errors.New("cluster: machine aborted")
 
+// defaultMailboxDepth caps total buffered-message slots at 2^18 across the
+// machine so a p=4096 machine does not pre-allocate gigabytes of channel
+// buffers, while small machines keep the historical per-rank depth of 4096.
+func defaultMailboxDepth(p int) int {
+	const totalSlots = 1 << 18
+	d := totalSlots / p
+	if d > 4096 {
+		d = 4096
+	}
+	if d < 64 {
+		d = 64
+	}
+	return d
+}
+
 // New creates a machine with p ranks.
 func New(cfg Config) (*Machine, error) {
 	if cfg.Ranks < 1 {
 		return nil, fmt.Errorf("cluster: need at least 1 rank, got %d", cfg.Ranks)
 	}
 	if cfg.MailboxDepth <= 0 {
-		cfg.MailboxDepth = 4096
+		cfg.MailboxDepth = defaultMailboxDepth(cfg.Ranks)
 	}
 	if err := cfg.Fault.Validate(cfg.Ranks); err != nil {
 		return nil, err
@@ -174,10 +220,9 @@ func New(cfg Config) (*Machine, error) {
 		worldRanks[i] = i
 	}
 	m.coll = newPhaser(worldRanks, worldPhaserID)
-	m.world = &commShared{ranks: worldRanks, ph: m.coll}
+	m.world = &commShared{ranks: worldRanks, ph: m.coll, lv: cfg.Cost.levelsFor(worldRanks)}
 	m.blocked = make([]blockInfo, cfg.Ranks)
-	m.sent = make([]int64, cfg.Ranks*cfg.Ranks)
-	m.pulled = make([]int64, cfg.Ranks*cfg.Ranks)
+	m.inflight = make([]map[int]int64, cfg.Ranks)
 	if cfg.Trace {
 		m.rec = trace.NewRecorder(cfg.Ranks)
 	}
@@ -226,6 +271,7 @@ func (m *Machine) failRank(rank int, err error, vtime float64) {
 	}
 	m.failMu.Unlock()
 	m.errOnce.Do(func() { m.abortErr = err })
+	m.stateVer.Add(1)
 	m.broadcast()
 }
 
@@ -248,6 +294,7 @@ func (m *Machine) setBlocked(rank int, b blockInfo) {
 	}
 	m.blocked[rank] = b
 	m.blockMu.Unlock()
+	m.stateVer.Add(1)
 	m.broadcast()
 }
 
@@ -261,6 +308,7 @@ func (m *Machine) clearBlocked(rank int) {
 	}
 	m.blocked[rank] = blockInfo{}
 	m.blockMu.Unlock()
+	m.stateVer.Add(1)
 	m.broadcast()
 }
 
@@ -269,16 +317,21 @@ func (m *Machine) clearBlocked(rank int) {
 // counts either lands or is uncounted again when the sender unwinds).
 func (m *Machine) noteSent(to, from int) {
 	m.blockMu.Lock()
-	m.sent[to*m.cfg.Ranks+from]++
+	if m.inflight[to] == nil {
+		m.inflight[to] = make(map[int]int64)
+	}
+	m.inflight[to][from]++
 	m.blockMu.Unlock()
+	m.stateVer.Add(1)
 }
 
 // unsend retracts a noteSent whose channel send never happened (the sender
 // unwound while parked on a full mailbox).
 func (m *Machine) unsend(to, from int) {
 	m.blockMu.Lock()
-	m.sent[to*m.cfg.Ranks+from]--
+	m.inflight[to][from]--
 	m.blockMu.Unlock()
+	m.stateVer.Add(1)
 	m.broadcast()
 }
 
@@ -304,85 +357,139 @@ func (m *Machine) shouldUnwind(rank int) bool {
 // stable, and every survivor reaches the same verdict at the same virtual
 // state regardless of real-time interleaving. That determinism is what
 // makes a faulted run's trace byte-identical across schedules.
+//
+// Verdicts are computed into machine-owned scratch (no per-call
+// allocation) and cached under the state version: every registry mutation
+// bumps stateVer, so a cache hit is exactly as fresh as a recomputation,
+// and a wave of p survivors observing the same failure shares one
+// evaluation instead of each running its own.
 func (m *Machine) doomed(rank int) bool {
-	p := m.cfg.Ranks
-	m.blockMu.Lock()
-	blocked := append([]blockInfo(nil), m.blocked...)
-	avail := make([]bool, p*p)
-	for i := range avail {
-		avail[i] = m.sent[i] > m.pulled[i]
+	ver := m.stateVer.Load()
+	m.anMu.Lock()
+	defer m.anMu.Unlock()
+	if !m.anValid || m.anVer != ver {
+		m.recomputeCan()
+		m.anVer, m.anValid = ver, true
 	}
-	m.blockMu.Unlock()
+	return !m.anCan[rank]
+}
+
+// recomputeCan runs the can-progress fixpoint into the analysis scratch.
+// Caller holds anMu.
+func (m *Machine) recomputeCan() {
+	p := m.cfg.Ranks
+	if m.anCan == nil {
+		m.anCan = make([]bool, p)
+		m.anBlocked = make([]blockInfo, p)
+		m.anFailed = make([]bool, p)
+		m.anDone = make([]bool, p)
+		m.anAvailAny = make([]bool, p)
+		m.anAvailPk = make([]bool, p)
+		m.anWinOpen = make([]bool, p)
+		m.anRound = make(map[*phRound]int8)
+	}
 	m.failMu.Lock()
-	failed := make([]bool, p)
-	for i := range failed {
-		failed[i] = m.failures[i] != nil
+	for i := range m.anFailed {
+		m.anFailed[i] = m.failures[i] != nil
 	}
 	m.failMu.Unlock()
 	m.bodyMu.Lock()
-	done := append([]bool(nil), m.bodyDone...)
+	copy(m.anDone, m.bodyDone)
 	m.bodyMu.Unlock()
+	m.blockMu.Lock()
+	copy(m.anBlocked, m.blocked)
+	for i := range m.anAvailAny {
+		m.anAvailAny[i], m.anAvailPk[i] = false, false
+		//pepvet:allow determinism the any-sender verdict is a disjunction over map entries; iteration order cannot change it
+		for from, n := range m.inflight[i] {
+			if n > 0 && from != i {
+				m.anAvailAny[i] = true
+				break
+			}
+		}
+		if b := m.anBlocked[i]; b.kind == blockRecv && b.peer >= 0 {
+			m.anAvailPk[i] = m.inflight[i][b.peer] > 0
+		}
+	}
+	m.blockMu.Unlock()
+	m.windowMu.RLock()
+	for i := range m.anWinOpen {
+		m.anWinOpen[i] = false
+		if b := m.anBlocked[i]; b.kind == blockWindow {
+			_, m.anWinOpen[i] = m.windows[windowKey{owner: b.peer, name: b.name}]
+		}
+	}
+	m.windowMu.RUnlock()
 
-	can := make([]bool, p)
-	for i := range can {
-		can[i] = !failed[i] && !done[i] && blocked[i].kind == blockNone
+	nCan := 0
+	for i := range m.anCan {
+		m.anCan[i] = !m.anFailed[i] && !m.anDone[i] && m.anBlocked[i].kind == blockNone
+		if m.anCan[i] {
+			nCan++
+		}
 	}
 	for changed := true; changed; {
 		changed = false
-		for i := range can {
-			if can[i] || failed[i] || done[i] || blocked[i].kind == blockNone {
+		// Collective-round verdicts are memoized per pass: a stale negative
+		// only delays a flip to the next pass, which the flip itself forces.
+		clear(m.anRound)
+		for i := range m.anCan {
+			if m.anCan[i] || m.anFailed[i] || m.anDone[i] || m.anBlocked[i].kind == blockNone {
 				continue
 			}
-			if m.mayUnblock(i, blocked, avail, failed, done, can) {
-				can[i] = true
+			if m.mayUnblock(i, nCan) {
+				m.anCan[i] = true
+				nCan++
 				changed = true
 			}
 		}
 	}
-	return !can[rank]
 }
 
 // mayUnblock evaluates one parked rank's dependency against the current
-// can-progress set.
-func (m *Machine) mayUnblock(i int, blocked []blockInfo, avail, failed, done, can []bool) bool {
-	p := m.cfg.Ranks
-	b := blocked[i]
+// can-progress scratch. nCan is the number of ranks currently able to
+// progress (none of which is i — i is blocked). Caller holds anMu.
+func (m *Machine) mayUnblock(i, nCan int) bool {
+	b := m.anBlocked[i]
 	switch b.kind {
 	case blockSend:
 		// Needs the receiver to drain its mailbox.
-		return can[b.peer]
+		return m.anCan[b.peer]
 	case blockRecv:
 		if b.peer >= 0 {
-			return avail[i*p+b.peer] || can[b.peer]
+			return m.anAvailPk[i] || m.anCan[b.peer]
 		}
-		for j := 0; j < p; j++ {
-			if j != i && (avail[i*p+j] || can[j]) {
-				return true
-			}
-		}
-		return false
+		// Any in-flight message, or any rank that can still send one.
+		return m.anAvailAny[i] || nCan > 0
 	case blockWindow:
-		m.windowMu.Lock()
-		_, exposed := m.windows[windowKey{owner: b.peer, name: b.name}]
-		m.windowMu.Unlock()
 		// An exposed window unblocks the waiter with data; a failed or
 		// finished owner unblocks it with an error return.
-		return exposed || failed[b.peer] || done[b.peer] || can[b.peer]
+		return m.anWinOpen[i] || m.anFailed[b.peer] || m.anDone[b.peer] || m.anCan[b.peer]
 	case blockColl:
 		// The rendezvous completes only if every member that has not yet
 		// arrived at this round can still arrive.
+		if v := m.anRound[b.round]; v != 0 {
+			return v > 0
+		}
+		ok := true
 		for _, g := range b.members {
 			if g == i {
 				continue
 			}
-			if blocked[g].kind == blockColl && blocked[g].round == b.round {
+			if m.anBlocked[g].kind == blockColl && m.anBlocked[g].round == b.round {
 				continue // already arrived and parked on the same round
 			}
-			if !can[g] {
-				return false
+			if !m.anCan[g] {
+				ok = false
+				break
 			}
 		}
-		return true
+		if ok {
+			m.anRound[b.round] = 1
+		} else {
+			m.anRound[b.round] = -1
+		}
+		return ok
 	}
 	return true
 }
@@ -431,6 +538,7 @@ func (m *Machine) noteBodyDone(rank int) {
 	m.bodyMu.Lock()
 	m.bodyDone[rank] = true
 	m.bodyMu.Unlock()
+	m.stateVer.Add(1)
 	m.broadcast()
 }
 
@@ -646,7 +754,7 @@ func (m *Machine) Reset() {
 		worldRanks[i] = i
 	}
 	m.coll = newPhaser(worldRanks, worldPhaserID)
-	m.world = &commShared{ranks: worldRanks, ph: m.coll}
+	m.world = &commShared{ranks: worldRanks, ph: m.coll, lv: m.cfg.Cost.levelsFor(worldRanks)}
 	m.abortOnce = sync.Once{}
 	m.abort = make(chan struct{})
 	m.errOnce = sync.Once{}
@@ -654,12 +762,13 @@ func (m *Machine) Reset() {
 	m.blockMu.Lock()
 	for i := range m.blocked {
 		m.blocked[i] = blockInfo{}
-	}
-	for i := range m.sent {
-		m.sent[i] = 0
-		m.pulled[i] = 0
+		clear(m.inflight[i])
 	}
 	m.blockMu.Unlock()
+	m.anMu.Lock()
+	m.anValid = false
+	m.anMu.Unlock()
+	m.stateVer.Add(1)
 	m.failMu.Lock()
 	m.failures = make(map[int]error)
 	m.firstFailedRank = -1
@@ -829,7 +938,7 @@ func (r *Rank) Send(to int, tag string, payload []byte) {
 	cost := r.m.cfg.Cost
 	start := r.clock
 	r.clock += cost.SendOverheadSec
-	xfer := cost.XferSec(len(payload), r.Size()) + r.injectSendDelay(to)
+	xfer := cost.PathXferSec(len(payload), r.id, to, r.Size()) + r.injectSendDelay(to)
 	r.Stats.TotalCommSec += cost.SendOverheadSec
 	r.Stats.BytesSent += int64(len(payload))
 	r.Stats.Messages++
@@ -943,8 +1052,9 @@ func (r *Rank) earliestPending() (int, bool) {
 // keeping the in-flight counter in step.
 func (r *Rank) intake(msg message) {
 	r.m.blockMu.Lock()
-	r.m.pulled[r.id*r.m.cfg.Ranks+msg.from]++
+	r.m.inflight[r.id][msg.from]--
 	r.m.blockMu.Unlock()
+	r.m.stateVer.Add(1)
 	r.pending[msg.from] = append(r.pending[msg.from], msg)
 }
 
@@ -983,7 +1093,7 @@ func (r *Rank) pullOne(from int) {
 // cost) and a synchronization part (the sender had not reached its send
 // yet — load imbalance, not network time).
 func (r *Rank) deliver(msg message) (string, []byte) {
-	xfer := r.m.cfg.Cost.XferSec(len(msg.payload), r.Size())
+	xfer := r.m.cfg.Cost.PathXferSec(len(msg.payload), msg.from, r.id, r.Size())
 	entry := r.clock
 	var commD, syncD float64
 	if wait := msg.arrival - r.clock; wait > 0 {
@@ -1034,6 +1144,7 @@ func (r *Rank) Expose(name string, data []byte) {
 	close(w.ready)
 	r.m.windows[key] = w
 	r.m.windowMu.Unlock()
+	r.m.stateVer.Add(1)
 	r.m.broadcast() // wake waiters blocked on this exposure
 }
 
@@ -1069,12 +1180,21 @@ func (r *Rank) Get(owner int, name string) *Pending {
 // is therefore waited for, not an error. Every exit condition is a fact of
 // the virtual execution, so the outcome is schedule-independent.
 func (r *Rank) waitWindow(owner int, key windowKey) (*window, error) {
+	// Fast path: in steady-state transport loops the window was exposed long
+	// ago, so skip the wakeup-channel registration and blocked-state
+	// bookkeeping entirely. At p=4096 this lookup runs O(p²) times per run.
+	r.m.windowMu.RLock()
+	w, ok := r.m.windows[key]
+	r.m.windowMu.RUnlock()
+	if ok {
+		return w, nil
+	}
 	defer r.m.clearBlocked(r.id)
 	for {
 		ch := r.m.notified() // grab before re-checking to avoid lost wakeups
-		r.m.windowMu.Lock()
+		r.m.windowMu.RLock()
 		w, ok := r.m.windows[key]
-		r.m.windowMu.Unlock()
+		r.m.windowMu.RUnlock()
 		if ok {
 			return w, nil
 		}
@@ -1139,9 +1259,9 @@ func (p *Pending) Wait() ([]byte, error) {
 	// Expose closes ready before the window becomes discoverable, so this
 	// never blocks; it orders this read after the exposure.
 	<-w.ready
-	r.m.windowMu.Lock()
+	r.m.windowMu.RLock()
 	data, exposeTime := w.data, w.exposeTime
-	r.m.windowMu.Unlock()
+	r.m.windowMu.RUnlock()
 
 	start := p.issueTime
 	if exposeTime > start {
@@ -1149,7 +1269,7 @@ func (p *Pending) Wait() ([]byte, error) {
 	}
 	blocking := r.Stats.ComputeSec == p.issueCompute
 	cost := r.m.cfg.Cost
-	xfer := cost.RMAXferSec(len(data), r.Size(), blocking)
+	xfer := cost.PathRMAXferSec(len(data), p.owner, r.id, r.Size(), blocking)
 
 	// Injected drops: every failed attempt costs a full transfer plus an
 	// exponentially growing backoff before the reissue, all charged on the

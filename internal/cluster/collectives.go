@@ -168,7 +168,7 @@ func (r *Rank) syncTo(name string, maxClock, cost float64) {
 // rank plus a ⌈log₂p⌉-round latency cost.
 func (r *Rank) Barrier() {
 	_, maxClock := r.m.coll.arrive(r, r.id, nil, nil)
-	r.syncTo("barrier", maxClock, r.Cost().CollectiveSec(0, r.Size()))
+	r.syncTo("barrier", maxClock, r.worldCollSec(0))
 }
 
 // ReduceOp selects the combining operation of an Allreduce.
@@ -217,7 +217,7 @@ func (r *Rank) AllreduceInt64(op ReduceOp, v int64) int64 {
 		}
 		return acc
 	})
-	r.syncTo("allreduce-int64", maxClock, r.Cost().CollectiveSec(8, r.Size()))
+	r.syncTo("allreduce-int64", maxClock, r.worldCollSec(8))
 	return res.(int64)
 }
 
@@ -242,7 +242,7 @@ func (r *Rank) AllreduceFloat64(op ReduceOp, v float64) float64 {
 		}
 		return acc
 	})
-	r.syncTo("allreduce-float64", maxClock, r.Cost().CollectiveSec(8, r.Size()))
+	r.syncTo("allreduce-float64", maxClock, r.worldCollSec(8))
 	return res.(float64)
 }
 
@@ -276,7 +276,7 @@ func (r *Rank) AllreduceInt64Vec(op ReduceOp, vec []int64) []int64 {
 		}
 		return acc
 	})
-	r.syncTo("allreduce-int64vec", maxClock, r.Cost().CollectiveSec(8*len(vec), r.Size()))
+	r.syncTo("allreduce-int64vec", maxClock, r.worldCollSec(8*len(vec)))
 	shared := res.([]int64)
 	out := make([]int64, len(shared))
 	copy(out, shared)
@@ -291,7 +291,7 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 		return d
 	})
 	out, _ := res.([]byte)
-	r.syncTo("bcast", maxClock, r.Cost().CollectiveSec(len(out), r.Size()))
+	r.syncTo("bcast", maxClock, r.worldCollSec(len(out)))
 	if r.id != root {
 		cp := make([]byte, len(out))
 		copy(cp, out)
@@ -318,7 +318,7 @@ func (r *Rank) Allgather(payload []byte) [][]byte {
 		return gathered{bufs: out, total: total}
 	})
 	g := res.(gathered)
-	r.syncTo("allgather", maxClock, r.Cost().CollectiveSec(g.total, r.Size()))
+	r.syncTo("allgather", maxClock, r.worldCollSec(g.total))
 	out := make([][]byte, len(g.bufs))
 	for i, b := range g.bufs {
 		cp := make([]byte, len(b))
@@ -352,13 +352,12 @@ func (r *Rank) Gather(root int, payload []byte) [][]byte {
 	g := res.(gathered)
 	cost := r.Cost()
 	if r.id == root {
-		extra := float64(TreeSteps(r.Size()))*cost.LatencySec + float64(g.total)/cost.effectiveBytesPerSec(r.Size())
-		r.syncTo("gather", maxClock, extra)
+		r.syncTo("gather", maxClock, cost.gatherRootSecLevels(g.total, r.m.world.lv))
 		r.Stats.BytesReceived += int64(g.total)
 		r.traceCollBytes(0, int64(g.total))
 		return g.bufs
 	}
-	r.syncTo("gather", maxClock, cost.XferSec(len(payload), r.Size()))
+	r.syncTo("gather", maxClock, cost.PathXferSec(len(payload), r.id, root, r.Size()))
 	r.Stats.BytesSent += int64(len(payload))
 	r.traceCollBytes(int64(len(payload)), 0)
 	return nil
@@ -392,7 +391,7 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 		out[j] = cp
 		recvTotal += len(src)
 	}
-	r.syncTo("alltoallv", maxClock, r.Cost().AlltoallvSec(sendTotal, recvTotal, r.Size()))
+	r.syncTo("alltoallv", maxClock, r.m.cfg.Cost.alltoallvSecLevels(sendTotal, recvTotal, r.m.world.lv))
 	r.Stats.BytesSent += int64(sendTotal)
 	r.Stats.BytesReceived += int64(recvTotal)
 	r.traceCollBytes(int64(sendTotal), int64(recvTotal))

@@ -21,6 +21,22 @@ type Comm struct {
 type commShared struct {
 	ranks []int // global rank ids, ascending group order
 	ph    *phaser
+	// lv caches the membership's topology level structure for collective
+	// costing — computed once per communicator (New, Reset, Split), not
+	// per collective call.
+	lv collLevels
+}
+
+// collSec prices a tree collective moving b bytes per round on this
+// communicator under the machine's (possibly hierarchical) topology.
+func (c *Comm) collSec(b int) float64 {
+	return c.r.m.cfg.Cost.collectiveSecLevels(b, c.shared.lv)
+}
+
+// worldCollSec prices a machine-wide tree collective moving b bytes per
+// round.
+func (r *Rank) worldCollSec(b int) float64 {
+	return r.m.cfg.Cost.collectiveSecLevels(b, r.m.world.lv)
 }
 
 // World returns the all-ranks communicator view for this rank.
@@ -68,11 +84,11 @@ func (c *Comm) Split(color, key int) *Comm {
 			}
 			// The phaser id is derived from the (sorted) membership, so a
 			// deterministic program yields deterministic trace identities.
-			out[color] = &commShared{ranks: ranks, ph: newPhaser(ranks, fmt.Sprintf("split%v", ranks))}
+			out[color] = &commShared{ranks: ranks, ph: newPhaser(ranks, fmt.Sprintf("split%v", ranks)), lv: r.m.cfg.Cost.levelsFor(ranks)}
 		}
 		return out
 	})
-	r.syncTo("split", maxClock, r.Cost().CollectiveSec(12, c.Size()))
+	r.syncTo("split", maxClock, c.collSec(12))
 	shared := res.(map[int]*commShared)[color]
 	myIdx := -1
 	for i, gr := range shared.ranks {
@@ -90,7 +106,7 @@ func (c *Comm) Split(color, key int) *Comm {
 // Barrier synchronizes the communicator's members.
 func (c *Comm) Barrier() {
 	_, maxClock := c.shared.ph.arrive(c.r, c.myIdx, nil, nil)
-	c.r.syncTo("barrier", maxClock, c.r.Cost().CollectiveSec(0, c.Size()))
+	c.r.syncTo("barrier", maxClock, c.collSec(0))
 }
 
 // AllreduceInt64 combines one int64 per member under op.
@@ -102,7 +118,7 @@ func (c *Comm) AllreduceInt64(op ReduceOp, v int64) int64 {
 		}
 		return acc
 	})
-	c.r.syncTo("allreduce-int64", maxClock, c.r.Cost().CollectiveSec(8, c.Size()))
+	c.r.syncTo("allreduce-int64", maxClock, c.collSec(8))
 	return res.(int64)
 }
 
@@ -120,7 +136,7 @@ func (c *Comm) Allgather(payload []byte) [][]byte {
 		return gathered{bufs: out, total: total}
 	})
 	g := res.(gathered)
-	c.r.syncTo("allgather", maxClock, c.r.Cost().CollectiveSec(g.total, c.Size()))
+	c.r.syncTo("allgather", maxClock, c.collSec(g.total))
 	out := make([][]byte, len(g.bufs))
 	for i, b := range g.bufs {
 		cp := make([]byte, len(b))

@@ -67,7 +67,15 @@ type CostModel struct {
 	// SortSecPerKey is the local CPU cost per key during the parallel
 	// counting sort (Algorithm B's integer sorting, O(n/p) per rank).
 	SortSecPerKey float64
+
+	// Topo is the optional two-level rack/node topology (see topology.go).
+	// The zero value keeps the flat model: every Path* helper and
+	// collective cost is then bit-identical to the pre-topology formulas.
+	Topo Topology
 }
+
+// inf returns +Inf (an unset bandwidth models a free network).
+func inf() float64 { return math.Inf(1) }
 
 // GigabitCluster returns the cost model calibrated against the paper's
 // testbed: 2.33 GHz Xeons, gigabit ethernet, NFS, 8 ranks per node, and the

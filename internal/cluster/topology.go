@@ -1,0 +1,330 @@
+package cluster
+
+// Two-level rack/node network topology for the LogGP clock.
+//
+// The flat CostModel treats every rank pair alike: one latency, one link
+// bandwidth, and NIC sharing divided by min(p, RanksPerNode) globally. That
+// is a fine approximation at the paper's p ≤ 192, but at p = 1024–4096 it
+// both overcharges (a transfer between two ranks of the same node never
+// touches the NIC) and undercharges (a partially filled node shares its NIC
+// among fewer ranks than a full one). Topology refines the model into the
+// standard two-level hierarchy of commodity clusters:
+//
+//	rank --(RanksPerNode per node, shared-memory transport)--> node
+//	node --(NodesPerRack per rack, gigabit NIC)--------------> rack
+//	rack --(oversubscribed uplink)---------------------------> cluster
+//
+// Placement is deterministic and contiguous: rank r lives on node
+// r/RanksPerNode, and node n in rack n/NodesPerRack. Three path classes
+// follow — intra-node, intra-rack, inter-rack — each with its own latency
+// and bandwidth, and NIC sharing counts the ranks resident on the two
+// endpoint nodes instead of a global min(p, RanksPerNode).
+//
+// Topology.Hierarchical additionally switches collective costing from the
+// flat ⌈log₂p⌉ tree to a node-leader hierarchy (reduce within each node
+// over shared memory, then across a rack's node leaders on unshared NICs,
+// then across rack leaders). This is purely a cost-model change: the data
+// plane keeps the single phaser rendezvous with its canonical rank-order
+// reduction, so results, Offer order, and statistics structure are
+// bit-identical to the flat collectives by construction.
+type Topology struct {
+	// Enabled switches the two-level path model on. When false every
+	// Path* helper falls back to the flat formulas bit-for-bit.
+	Enabled bool
+	// NodesPerRack groups nodes into racks (0 or less: one big rack).
+	NodesPerRack int
+	// IntraNodeLatencySec and IntraNodeBytesPerSec describe the
+	// shared-memory transport between ranks of one node (0 falls back to
+	// LatencySec / BytesPerSec). Intra-node transfers never pay NIC
+	// sharing.
+	IntraNodeLatencySec  float64
+	IntraNodeBytesPerSec float64
+	// InterRackLatencySec and InterRackBytesPerSec describe the rack
+	// uplink (0 falls back to LatencySec / BytesPerSec). Inter-rack
+	// transfers pay the lower of the NIC and uplink bandwidths.
+	InterRackLatencySec  float64
+	InterRackBytesPerSec float64
+	// Hierarchical enables node-leader tree collectives in the cost model
+	// (see above). Ignored unless Enabled.
+	Hierarchical bool
+}
+
+// TwoLevelCluster returns the gigabit testbed model under an explicit
+// two-level topology: 8 ranks per node as before, 32 nodes per rack, a
+// 5 GB/s shared-memory transport inside a node, and a 10-gigabit rack
+// uplink, with hierarchical collectives enabled.
+func TwoLevelCluster() CostModel {
+	c := GigabitCluster()
+	c.Topo = Topology{
+		Enabled:              true,
+		NodesPerRack:         32,
+		IntraNodeLatencySec:  2e-6,
+		IntraNodeBytesPerSec: 5e9,
+		InterRackLatencySec:  130e-6,
+		InterRackBytesPerSec: 1.18e9,
+		Hierarchical:         true,
+	}
+	return c
+}
+
+// ranksPerNode returns the node width, at least 1.
+func (c *CostModel) ranksPerNode() int {
+	if c.RanksPerNode < 1 {
+		return 1
+	}
+	return c.RanksPerNode
+}
+
+// nodeOf returns the node hosting rank r under contiguous placement.
+func (c *CostModel) nodeOf(r int) int { return r / c.ranksPerNode() }
+
+// rackOf returns the rack hosting node n.
+func (c *CostModel) rackOf(n int) int {
+	if c.Topo.NodesPerRack < 1 {
+		return 0
+	}
+	return n / c.Topo.NodesPerRack
+}
+
+// nodeOccupancy returns how many of the job's p ranks live on node n —
+// the NIC-sharing divisor for transfers through that node.
+func (c *CostModel) nodeOccupancy(n, p int) int {
+	rpn := c.ranksPerNode()
+	occ := p - n*rpn
+	if occ > rpn {
+		occ = rpn
+	}
+	if occ < 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// linkBW returns the NIC bandwidth (+Inf when unset, matching the flat
+// model's free network).
+func (c *CostModel) linkBW() float64 {
+	if c.BytesPerSec <= 0 {
+		return inf()
+	}
+	return c.BytesPerSec
+}
+
+func (c *CostModel) intraNodeLatency() float64 {
+	if c.Topo.IntraNodeLatencySec > 0 {
+		return c.Topo.IntraNodeLatencySec
+	}
+	return c.LatencySec
+}
+
+func (c *CostModel) intraNodeBW() float64 {
+	if c.Topo.IntraNodeBytesPerSec > 0 {
+		return c.Topo.IntraNodeBytesPerSec
+	}
+	return c.linkBW()
+}
+
+func (c *CostModel) interRackLatency() float64 {
+	if c.Topo.InterRackLatencySec > 0 {
+		return c.Topo.InterRackLatencySec
+	}
+	return c.LatencySec
+}
+
+// interRackBW returns the bottleneck bandwidth of an inter-rack path before
+// NIC sharing: the lower of the NIC and the rack uplink.
+func (c *CostModel) interRackBW() float64 {
+	bw := c.linkBW()
+	if u := c.Topo.InterRackBytesPerSec; u > 0 && u < bw {
+		bw = u
+	}
+	return bw
+}
+
+// pathParams returns the latency and effective per-transfer bandwidth of
+// the from→to path in a p-rank job under the two-level topology. Only
+// meaningful when Topo.Enabled.
+func (c *CostModel) pathParams(from, to, p int) (lat, bw float64) {
+	nf, nt := c.nodeOf(from), c.nodeOf(to)
+	if nf == nt {
+		return c.intraNodeLatency(), c.intraNodeBW()
+	}
+	share := c.nodeOccupancy(nf, p)
+	if o := c.nodeOccupancy(nt, p); o > share {
+		share = o
+	}
+	if c.rackOf(nf) != c.rackOf(nt) {
+		return c.interRackLatency(), c.interRackBW() / float64(share)
+	}
+	return c.LatencySec, c.linkBW() / float64(share)
+}
+
+// PathXferSec returns the time for one point-to-point transfer of b bytes
+// between ranks from and to in a p-rank job. Without a topology it is
+// exactly XferSec; with one, the path class picks latency and bandwidth and
+// NIC sharing counts the ranks on the two endpoint nodes.
+func (c *CostModel) PathXferSec(b, from, to, p int) float64 {
+	if !c.Topo.Enabled {
+		return c.XferSec(b, p)
+	}
+	lat, bw := c.pathParams(from, to, p)
+	return lat + float64(b)/bw
+}
+
+// PathRMAXferSec returns the time for a one-sided Get of b bytes issued by
+// rank issuer against rank owner's window. Without a topology it is exactly
+// RMAXferSec. Intra-node gets use the shared-memory transport and never pay
+// the blocking-incast factor (there is no NIC to congest); inter-node gets
+// pay per-node NIC sharing and, when unmasked, BlockingRMAFactor.
+func (c *CostModel) PathRMAXferSec(b, owner, issuer, p int, blocking bool) float64 {
+	if !c.Topo.Enabled {
+		return c.RMAXferSec(b, p, blocking)
+	}
+	no, ni := c.nodeOf(owner), c.nodeOf(issuer)
+	if no == ni {
+		return c.intraNodeLatency() + float64(b)/c.intraNodeBW()
+	}
+	bw := c.RMABytesPerSec
+	if bw <= 0 {
+		bw = c.BytesPerSec
+	}
+	if bw <= 0 {
+		return c.LatencySec
+	}
+	if c.rackOf(no) != c.rackOf(ni) {
+		if u := c.Topo.InterRackBytesPerSec; u > 0 && u < bw {
+			bw = u
+		}
+	}
+	share := c.nodeOccupancy(no, p)
+	if o := c.nodeOccupancy(ni, p); o > share {
+		share = o
+	}
+	eff := bw / float64(share)
+	lat := c.LatencySec
+	if c.rackOf(no) != c.rackOf(ni) {
+		lat = c.interRackLatency()
+	}
+	if blocking && c.BlockingRMAFactor > 1 {
+		return lat + float64(b)*c.BlockingRMAFactor/eff
+	}
+	return lat + float64(b)/eff
+}
+
+// collLevels caches the level structure of one communicator's membership
+// under the machine's topology: how deep each stage of a node-leader
+// hierarchical collective is. Computed once per communicator (at machine
+// construction, Reset, or Split), not per collective call.
+type collLevels struct {
+	// size is the member count; the only field used when hier is false.
+	size int
+	// hier marks hierarchical costing (topology enabled + Hierarchical).
+	hier bool
+	// intraFan is the largest number of members sharing one node.
+	intraFan int
+	// rackFan is the largest number of occupied nodes in one rack.
+	rackFan int
+	// racks is the number of occupied racks.
+	racks int
+}
+
+// levelsFor computes the level structure of a membership list.
+func (c *CostModel) levelsFor(members []int) collLevels {
+	lv := collLevels{size: len(members)}
+	if !c.Topo.Enabled || !c.Topo.Hierarchical || len(members) == 0 {
+		return lv
+	}
+	lv.hier = true
+	nodeCount := make(map[int]int)
+	rackCount := make(map[int]int)
+	for _, r := range members {
+		n := c.nodeOf(r)
+		nodeCount[n]++
+		if nodeCount[n] == 1 {
+			rackCount[c.rackOf(n)]++
+		}
+	}
+	//pepvet:allow determinism maxima over map values are iteration-order independent
+	for _, n := range nodeCount {
+		if n > lv.intraFan {
+			lv.intraFan = n
+		}
+	}
+	//pepvet:allow determinism maxima over map values are iteration-order independent
+	for _, n := range rackCount {
+		if n > lv.rackFan {
+			lv.rackFan = n
+		}
+	}
+	lv.racks = len(rackCount)
+	return lv
+}
+
+// collectiveSecLevels returns the cost of a tree collective moving b bytes
+// per round over the communicator described by lv. Flat communicators get
+// exactly CollectiveSec; hierarchical ones pay a three-stage node-leader
+// tree — within each node over the shared-memory transport, across a
+// rack's node leaders on unshared NICs (one leader per node is active, so
+// the per-node NIC is not divided), then across rack leaders on the
+// uplink.
+func (c *CostModel) collectiveSecLevels(b int, lv collLevels) float64 {
+	if !lv.hier {
+		return c.CollectiveSec(b, lv.size)
+	}
+	fb := float64(b)
+	sec := float64(TreeSteps(lv.intraFan)) * (c.intraNodeLatency() + fb/c.intraNodeBW())
+	sec += float64(TreeSteps(lv.rackFan)) * (c.LatencySec + fb/c.linkBW())
+	sec += float64(TreeSteps(lv.racks)) * (c.interRackLatency() + fb/c.interRackBW())
+	return sec
+}
+
+// alltoallvSecLevels returns one rank's cost for a personalized all-to-all
+// over the communicator described by lv. Flat communicators get exactly
+// AlltoallvSec; hierarchical ones aggregate per node first (intraFan−1
+// shared-memory messages), then exchange one combined message per peer node
+// within the rack and one per peer rack, on unshared leader NICs.
+func (c *CostModel) alltoallvSecLevels(sendB, recvB int, lv collLevels) float64 {
+	if !lv.hier {
+		return c.AlltoallvSec(sendB, recvB, lv.size)
+	}
+	max := sendB
+	if recvB > max {
+		max = recvB
+	}
+	fm := float64(max)
+	var sec float64
+	if lv.intraFan > 1 {
+		sec += float64(lv.intraFan-1)*c.intraNodeLatency() + fm/c.intraNodeBW()
+	}
+	sec += float64(lv.rackFan-1) * c.LatencySec
+	sec += float64(lv.racks-1) * c.interRackLatency()
+	leaderBW := c.linkBW()
+	if lv.racks > 1 {
+		leaderBW = c.interRackBW()
+	}
+	sec += fm / leaderBW
+	return sec
+}
+
+// gatherRootSecLevels returns the root's extra cost for a Gather whose
+// inbound payloads total `total` bytes. Flat communicators pay the original
+// ⌈log₂p⌉ latency plus total bytes through the shared NIC; hierarchical
+// ones pay the staged latency and funnel the bytes through the root's
+// bandwidth bottleneck (unshared NIC, capped by the uplink when the group
+// spans racks).
+func (c *CostModel) gatherRootSecLevels(total int, lv collLevels) float64 {
+	if !lv.hier {
+		return float64(TreeSteps(lv.size))*c.LatencySec + float64(total)/c.effectiveBytesPerSec(lv.size)
+	}
+	sec := float64(TreeSteps(lv.intraFan)) * c.intraNodeLatency()
+	sec += float64(TreeSteps(lv.rackFan)) * c.LatencySec
+	sec += float64(TreeSteps(lv.racks)) * c.interRackLatency()
+	bw := c.linkBW()
+	if lv.racks > 1 {
+		bw = c.interRackBW()
+	}
+	if ib := c.intraNodeBW(); lv.intraFan > 1 && ib < bw {
+		bw = ib
+	}
+	sec += float64(total) / bw
+	return sec
+}

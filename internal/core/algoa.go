@@ -49,18 +49,18 @@ type loaded struct {
 // rank's 1/p share of the query file, with I/O and conditioning charged to
 // the virtual clock. Global protein-index bases are agreed via an
 // Allgather of per-rank record counts.
-func loadPhase(r *cluster.Rank, in Input, opt Options, blocks, myBlock int) (*loaded, error) {
-	return loadPhaseOpts(r, in, opt, blocks, myBlock, true)
+func loadPhase(r *cluster.Rank, in Input, opt Options, cache *indexCache, blocks, myBlock int) (*loaded, error) {
+	return loadPhaseOpts(r, in, opt, cache, blocks, myBlock, true)
 }
 
 // loadPhaseOpts is loadPhase with query conditioning optional: the
 // candidate-transport engine redistributes raw spectra by mass first and
 // conditions them at their destination rank.
-func loadPhaseOpts(r *cluster.Rank, in Input, opt Options, blocks, myBlock int, prepare bool) (*loaded, error) {
+func loadPhaseOpts(r *cluster.Rank, in Input, opt Options, cache *indexCache, blocks, myBlock int, prepare bool) (*loaded, error) {
 	cost := r.Cost()
-	l := &loaded{blocks: blocks, myBlock: myBlock}
+	l := &loaded{blocks: blocks, myBlock: myBlock, cache: cache}
 
-	ranges := fasta.Ranges(in.DBData, blocks)
+	ranges := cache.rangesFor(in.DBData, blocks)
 	rg := ranges[myBlock]
 	l.myBytes = in.DBData[rg.Start:rg.End]
 	r.Compute(cost.IOSec(len(l.myBytes)))
@@ -120,12 +120,11 @@ func processBlock(r *cluster.Rank, l *loaded, opt Options, qs []*score.Query, li
 	if gids == nil {
 		return 0, fmt.Errorf("processBlock: nil gids")
 	}
-	ix, err := l.cache.indexFor(key, recs, gids, opt.Digest)
+	ix, ixBytes, err := l.cache.indexFor(key, recs, gids, opt.Digest)
 	if err != nil {
 		return 0, err
 	}
 	r.Compute(cost.DigestSecPerResidue * float64(fasta.TotalResidues(recs)))
-	ixBytes := indexFootprintBytes(ix)
 	r.NoteAlloc(ixBytes)
 	st := l.scan.scan(qs, lists, ix, l.sc, opt, idOf)
 	r.Compute(scanComputeSec(cost, l.sc, st))
@@ -187,11 +186,10 @@ func algorithmABody(r *cluster.Rank, in Input, opt Options, masking bool, sh *sh
 	p, id := r.Size(), r.ID()
 	t0 := r.Time()
 	r.SetPhase("load")
-	l, err := loadPhase(r, in, opt, p, id)
+	l, err := loadPhase(r, in, opt, sh.cache, p, id)
 	if err != nil {
 		return err
 	}
-	l.cache = sh.cache
 	r.Expose(dbWindow, l.myBytes)
 	r.Barrier()
 	loadSec := r.Time() - t0

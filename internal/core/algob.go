@@ -27,11 +27,10 @@ func algorithmBBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	p, id := r.Size(), r.ID()
 	t0 := r.Time()
 	r.SetPhase("load")
-	l, err := loadPhase(r, in, opt, p, id)
+	l, err := loadPhase(r, in, opt, sh.cache, p, id)
 	if err != nil {
 		return err
 	}
-	l.cache = sh.cache
 	loadSec := r.Time() - t0
 	r.SetPhase("sort")
 

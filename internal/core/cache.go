@@ -20,7 +20,25 @@ import (
 type indexCache struct {
 	mu sync.Mutex
 	m  map[cacheKey]*cacheEntry
+	// dense is a per-kind slice fast path for the dominant key shape:
+	// block-index hashes (see blockKey), which are small integers. At
+	// p=4096 the transport loops perform O(p²) cache lookups per run, and
+	// the map's hash+equality per lookup dominates the simulation host's
+	// time; a slice index replaces both. Keys with large hashes (content
+	// hashes) and size-mismatched slots fall back to the map.
+	dense [kindCount][]denseSlot
 }
+
+// denseSlot is one dense fast-path entry; occupied when e is non-nil. size
+// guards against (implausible) same-index different-size keys.
+type denseSlot struct {
+	e    *cacheEntry
+	size int
+}
+
+// denseHashLimit bounds the dense fast path's memory: hashes at or above it
+// (content hashes, which are effectively random uint64s) use the map.
+const denseHashLimit = 1 << 16
 
 // cacheEntry is a single-flight slot: the first requester builds, everyone
 // else waits on the Once. Without this, p ranks hitting a cold key (every
@@ -40,6 +58,9 @@ const (
 	kindRecords
 	kindSeqs
 	kindCands
+	kindRanges
+
+	kindCount = int(kindRanges) + 1
 )
 
 type cacheKey struct {
@@ -71,10 +92,33 @@ func (c *indexCache) getOrBuild(key cacheKey, build func() (interface{}, error))
 		return build()
 	}
 	c.mu.Lock()
-	e, ok := c.m[key]
-	if !ok {
-		e = &cacheEntry{}
-		c.m[key] = e
+	var e *cacheEntry
+	if key.hash < denseHashLimit {
+		d := c.dense[key.kind]
+		if int(key.hash) >= len(d) {
+			n := int(key.hash) + 1
+			if g := 2 * len(d); g > n {
+				n = g
+			}
+			nd := make([]denseSlot, n)
+			copy(nd, d)
+			c.dense[key.kind] = nd
+			d = nd
+		}
+		if s := &d[key.hash]; s.e == nil {
+			e = &cacheEntry{}
+			*s = denseSlot{e: e, size: key.size}
+		} else if s.size == key.size {
+			e = s.e
+		}
+	}
+	if e == nil {
+		var ok bool
+		e, ok = c.m[key]
+		if !ok {
+			e = &cacheEntry{}
+			c.m[key] = e
+		}
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
@@ -83,19 +127,47 @@ func (c *indexCache) getOrBuild(key cacheKey, build func() (interface{}, error))
 	return e.v, e.err
 }
 
-// indexFor returns the mass index for a block, building it on first use.
-// key must identify both content and protein numbering; block-index keys do
-// (the gid bases are a pure function of the block index, and Algorithm B's
-// wire format embeds gids in the bytes).
-func (c *indexCache) indexFor(key cacheKey, recs []fasta.Record, gids []int32, p digest.Params) (*digest.Index, error) {
+// builtIndex pairs a block index with its memory footprint, computed once
+// at build time. The footprint walk is O(index) and the transport loops ask
+// for it O(p) times per block.
+type builtIndex struct {
+	ix   *digest.Index
+	foot int64
+}
+
+// indexFor returns the mass index for a block and its footprint, building
+// both on first use. key must identify both content and protein numbering;
+// block-index keys do (the gid bases are a pure function of the block
+// index, and Algorithm B's wire format embeds gids in the bytes).
+func (c *indexCache) indexFor(key cacheKey, recs []fasta.Record, gids []int32, p digest.Params) (*digest.Index, int64, error) {
 	key.kind = kindIndex
 	v, err := c.getOrBuild(key, func() (interface{}, error) {
-		return digest.NewIndexIDs(recs, gids, p)
+		ix, err := digest.NewIndexIDs(recs, gids, p)
+		if err != nil {
+			return nil, err
+		}
+		return builtIndex{ix: ix, foot: indexFootprintBytes(ix)}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return v.(*digest.Index), nil
+	b := v.(builtIndex)
+	return b.ix, b.foot, nil
+}
+
+// rangesFor memoizes the record-aligned blocks-way partition of the
+// database image. Every rank computes the identical partition, and the scan
+// is O(N); without memoization a p=4096 machine spends a third of its host
+// time re-scanning the FASTA image p times during the load phase.
+func (c *indexCache) rangesFor(data []byte, blocks int) []fasta.Range {
+	if c == nil {
+		return fasta.Ranges(data, blocks)
+	}
+	key := cacheKey{hash: uint64(blocks), kind: kindRanges}
+	v, _ := c.getOrBuild(key, func() (interface{}, error) {
+		return fasta.Ranges(data, blocks), nil
+	})
+	return v.([]fasta.Range)
 }
 
 // recsFor parses a raw FASTA block once per key.

@@ -129,15 +129,14 @@ func candidateBody(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	p, id := r.Size(), r.ID()
 	cost := r.Cost()
 	t0 := r.Time()
-	l, err := loadPhaseOpts(r, in, opt, p, id, false)
+	l, err := loadPhaseOpts(r, in, opt, sh.cache, p, id, false)
 	if err != nil {
 		return err
 	}
-	l.cache = sh.cache
 	loadSec := r.Time() - t0
 
 	// C2: digest the local block once (block index = rank id here).
-	ix, err := l.cache.indexFor(blockKey(id, len(l.myBytes)), l.recs, contiguousGIDs(l.bases[id], len(l.recs)), opt.Digest)
+	ix, _, err := l.cache.indexFor(blockKey(id, len(l.myBytes)), l.recs, contiguousGIDs(l.bases[id], len(l.recs)), opt.Digest)
 	if err != nil {
 		return err
 	}

@@ -64,12 +64,12 @@ func masterWorkerSolo(r *cluster.Rank, in Input, opt Options, sh *shared) error 
 	if err != nil {
 		return err
 	}
-	ix, err := sh.cache.indexFor(fullDBKey(in), recs, contiguousGIDs(0, len(recs)), opt.Digest)
+	ix, ixBytes, err := sh.cache.indexFor(fullDBKey(in), recs, contiguousGIDs(0, len(recs)), opt.Digest)
 	if err != nil {
 		return err
 	}
 	r.Compute(cost.DigestSecPerResidue * float64(fasta.TotalResidues(recs)))
-	r.NoteAlloc(indexFootprintBytes(ix))
+	r.NoteAlloc(ixBytes)
 	loadSec := r.Time() - t0
 	r.SetPhase("scan")
 
@@ -172,12 +172,12 @@ func mwWorker(r *cluster.Rank, in Input, opt Options, sh *shared) error {
 	if err != nil {
 		return err
 	}
-	ix, err := sh.cache.indexFor(fullDBKey(in), recs, contiguousGIDs(0, len(recs)), opt.Digest)
+	ix, ixBytes, err := sh.cache.indexFor(fullDBKey(in), recs, contiguousGIDs(0, len(recs)), opt.Digest)
 	if err != nil {
 		return err
 	}
 	r.Compute(cost.DigestSecPerResidue * float64(fasta.TotalResidues(recs)))
-	r.NoteAlloc(indexFootprintBytes(ix))
+	r.NoteAlloc(ixBytes)
 	loadSec := r.Time() - t0
 	r.SetPhase("scan")
 	idOf := blockIDResolver(recs, 0)

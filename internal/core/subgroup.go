@@ -25,11 +25,10 @@ func subGroupBody(r *cluster.Rank, in Input, opt Options, groups int, sh *shared
 	local := id % gs
 	t0 := r.Time()
 	r.SetPhase("load")
-	l, err := loadPhase(r, in, opt, gs, local)
+	l, err := loadPhase(r, in, opt, sh.cache, gs, local)
 	if err != nil {
 		return err
 	}
-	l.cache = sh.cache
 	// Each group is an independent communicator: database transport and
 	// the exposure epoch stay group-local, so groups never synchronize
 	// with each other until the final result gather.

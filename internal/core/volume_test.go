@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"pepscale/internal/cluster"
+)
+
+func TestCommLowerBound(t *testing.T) {
+	if got := CommLowerBound(1, 1000, 10); got != 0 {
+		t.Fatalf("p=1 bound = %d, want 0", got)
+	}
+	if got := CommLowerBound(8, 1000, 10); got != 70 {
+		t.Fatalf("bound = %d, want 7*10", got)
+	}
+	if got := CommLowerBound(8, 10, 1000); got != 70 {
+		t.Fatalf("bound symmetric in min: got %d, want 70", got)
+	}
+	// Monotone in p.
+	prev := int64(-1)
+	for p := 1; p <= 64; p *= 2 {
+		b := CommLowerBound(p, 5000, 3000)
+		if b < prev {
+			t.Fatalf("bound not monotone at p=%d: %d < %d", p, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestMeasuredVolumeMatchesTraceFold: the per-rank byte counters (the
+// p=4096-capable measurement route) and the per-primitive trace fold must
+// agree exactly on a traced run, for every engine.
+func TestMeasuredVolumeMatchesTraceFold(t *testing.T) {
+	in := testInput(t, 200, 16)
+	opt := testOptions()
+	for _, algo := range []Algorithm{AlgoA, AlgoB, AlgoCandidate, AlgoMasterWorker} {
+		cfg := cluster.Config{Ranks: 8, Cost: cluster.TwoLevelCluster(), Trace: true}
+		res, err := Run(algo, cfg, in, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		v := MeasuredCommVolume(res.Metrics)
+		if res.Trace == nil || len(res.Trace.Attempts) == 0 {
+			t.Fatalf("%v: no trace", algo)
+		}
+		att := res.Trace.Attempts[len(res.Trace.Attempts)-1]
+		recv, rma := att.TotalCommBytes()
+		if recv != v.DeliveredBytes || rma != v.RMABytes {
+			t.Fatalf("%v: trace fold (%d, %d) != rank counters (%d, %d)",
+				algo, recv, rma, v.DeliveredBytes, v.RMABytes)
+		}
+		if v.RMABytes > v.DeliveredBytes {
+			t.Fatalf("%v: RMA subset %d exceeds delivered %d", algo, v.RMABytes, v.DeliveredBytes)
+		}
+		bound := CommLowerBound(8, int64(len(in.DBData)), QueryWireBytes(in.Queries))
+		if algo != AlgoMasterWorker && v.Ratio(bound) < 1 {
+			t.Errorf("%v: delivered volume %d below the lower bound %d (ratio %.3f)",
+				algo, v.Total(), bound, v.Ratio(bound))
+		}
+	}
+}
+
+func TestQueryWireBytes(t *testing.T) {
+	in := testInput(t, 50, 4)
+	got := QueryWireBytes(in.Queries)
+	var want int64
+	for _, s := range in.Queries {
+		want += 64 + 12*int64(len(s.Peaks))
+	}
+	if got != want || got <= 0 {
+		t.Fatalf("QueryWireBytes = %d, want %d > 0", got, want)
+	}
+}

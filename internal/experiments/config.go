@@ -45,6 +45,11 @@ type Config struct {
 	// SubGroupSize and SubGroupGroups configure the sub-group experiment.
 	SubGroupSize   int
 	SubGroupGroups []int
+	// VolumeSize and VolumeProcs configure the K4 comm-volume experiment
+	// (measured volume vs. the distribution lower bound, swept to
+	// cluster scales under the two-level topology).
+	VolumeSize  int
+	VolumeProcs []int
 	// CSV, when true, also emits CSV renditions after each table.
 	CSV bool
 	// TracePath, when set, makes the "trace" experiment write its Chrome
@@ -72,6 +77,8 @@ func Default(out io.Writer) *Config {
 		Table4Procs:    []int{1, 2, 4, 8, 16, 32, 64},
 		SubGroupSize:   4000,
 		SubGroupGroups: []int{1, 2, 4},
+		VolumeSize:     2000,
+		VolumeProcs:    []int{256, 1024, 4096},
 	}
 }
 
@@ -87,6 +94,8 @@ func Quick(out io.Writer) *Config {
 	c.Table4Procs = []int{1, 2, 4, 8}
 	c.SubGroupSize = 1000
 	c.SubGroupGroups = []int{1, 2}
+	c.VolumeSize = 500
+	c.VolumeProcs = []int{8, 16}
 	return c
 }
 

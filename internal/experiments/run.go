@@ -10,6 +10,7 @@ var Names = []string{
 	"table1", "table2", "fig4", "table3", "table4",
 	"fig1a", "fig1b", "masking", "residual", "validate",
 	"subgroup", "space", "candidate", "quality", "trace",
+	"volume",
 }
 
 // Run executes the named experiments ("all" runs everything) in canonical
@@ -83,6 +84,8 @@ func (c *Config) Run(names []string) error {
 			_, err = c.Quality()
 		case "trace":
 			err = c.Trace()
+		case "volume":
+			_, err = c.Volume()
 		}
 		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", name, err)

@@ -1,0 +1,64 @@
+package trace
+
+// Communication-volume analysis: fold the per-primitive byte counts of a
+// trace into per-kind totals. Together with the delta-folding oracle (the
+// sum of a rank's deltas reproduces its Stats bit-for-bit), this gives a
+// second, independent route to a run's measured communication volume — the
+// quantity the comm-volume experiment compares against the distribution
+// lower bound.
+
+// KindVolume is the byte/message rollup of one event kind across a whole
+// attempt.
+type KindVolume struct {
+	// Kind is the primitive family.
+	Kind Kind
+	// Events counts the aggregated events of this kind.
+	Events int
+	// BytesSent, BytesReceived, and RMABytesReceived sum the corresponding
+	// Stats deltas across every rank's events of this kind.
+	BytesSent        int64
+	BytesReceived    int64
+	RMABytesReceived int64
+	// Messages sums the message-count deltas.
+	Messages int64
+}
+
+// VolumeByKind aggregates an attempt's per-event byte accounting by event
+// kind, ordered by ascending Kind and omitting kinds with no events. The
+// scan order (ranks ascending, events in program order) makes the result
+// deterministic for a deterministic trace.
+func (a *Attempt) VolumeByKind() []KindVolume {
+	var acc [len(kindNames)]KindVolume
+	for _, evs := range a.Events {
+		for i := range evs {
+			ev := &evs[i]
+			kv := &acc[ev.Kind]
+			kv.Events++
+			kv.BytesSent += ev.Delta.BytesSent
+			kv.BytesReceived += ev.Delta.BytesReceived
+			kv.RMABytesReceived += ev.Delta.RMABytesReceived
+			kv.Messages += ev.Delta.Messages
+		}
+	}
+	var out []KindVolume
+	for k := range acc {
+		if acc[k].Events == 0 {
+			continue
+		}
+		acc[k].Kind = Kind(k)
+		out = append(out, acc[k])
+	}
+	return out
+}
+
+// TotalCommBytes folds an attempt's traced transfers into the two delivered
+// byte totals: two-sided (point-to-point payloads plus collective payload
+// deliveries) and one-sided (RMA gets). Retried transfers count once — the
+// deltas record delivered payload, not attempts.
+func (a *Attempt) TotalCommBytes() (recv, rma int64) {
+	for _, kv := range a.VolumeByKind() {
+		recv += kv.BytesReceived
+		rma += kv.RMABytesReceived
+	}
+	return recv, rma
+}

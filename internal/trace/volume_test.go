@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestVolumeByKind(t *testing.T) {
+	a := &Attempt{Ranks: 2, Events: [][]Event{
+		{
+			{Kind: KindSend, Delta: StatDelta{BytesSent: 100, Messages: 1}},
+			{Kind: KindRecv, Delta: StatDelta{BytesReceived: 40}},
+			{Kind: KindGetWait, Delta: StatDelta{BytesReceived: 7, RMABytesReceived: 7}},
+			{Kind: KindCompute, Delta: StatDelta{ComputeSec: 1}},
+		},
+		{
+			{Kind: KindRecv, Delta: StatDelta{BytesReceived: 60}},
+			{Kind: KindGetWait, Delta: StatDelta{BytesReceived: 5, RMABytesReceived: 5}},
+		},
+	}}
+	got := a.VolumeByKind()
+	want := []KindVolume{
+		{Kind: KindCompute, Events: 1},
+		{Kind: KindSend, Events: 1, BytesSent: 100, Messages: 1},
+		{Kind: KindRecv, Events: 2, BytesReceived: 100},
+		{Kind: KindGetWait, Events: 2, BytesReceived: 12, RMABytesReceived: 12},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("VolumeByKind:\n got %+v\nwant %+v", got, want)
+	}
+	recv, rma := a.TotalCommBytes()
+	if recv != 112 || rma != 12 {
+		t.Fatalf("TotalCommBytes = (%d, %d), want (112, 12)", recv, rma)
+	}
+}
+
+func TestVolumeByKindEmpty(t *testing.T) {
+	a := &Attempt{Ranks: 1, Events: [][]Event{nil}}
+	if got := a.VolumeByKind(); len(got) != 0 {
+		t.Fatalf("empty attempt produced %v", got)
+	}
+	recv, rma := a.TotalCommBytes()
+	if recv != 0 || rma != 0 {
+		t.Fatalf("empty attempt TotalCommBytes = (%d, %d)", recv, rma)
+	}
+}
