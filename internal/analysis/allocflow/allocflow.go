@@ -1,0 +1,152 @@
+// Package allocflow implements the interprocedural companion to the hotpath
+// analyzer. hotpath rejects allocation-inducing constructs written directly
+// inside a //pepvet:hotpath function; allocflow rejects the ones hiding
+// behind a call: a hotpath function may not call any function — however many
+// frames down — whose body contains a construct from the same set (fmt,
+// string concatenation, unhinted append growth, capturing closures,
+// interface boxing).
+//
+// May-allocate summaries are computed once for every function in the load
+// (hotpath.Facts classifies each body exactly once) and propagated bottom-up
+// over the call-graph SCCs, so the per-call-site check is a map lookup. The
+// diagnostic lands on the call site inside the hotpath function and carries
+// the witness chain down to the allocating construct. Calls through function
+// values and interfaces carry no edge; the runtime AllocsPerRun guards
+// remain the backstop for those.
+//
+// Suppress with //pepvet:allow allocflow <reason> at the call site to accept
+// one call chain, or at the allocating line in the helper (either allocflow
+// or hotpath as the analyzer name — a justified construct is justified for
+// every caller) to cut propagation at the leaf.
+package allocflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pepscale/internal/analysis"
+	"pepscale/internal/analysis/hotpath"
+)
+
+const name = "allocflow"
+
+// Analyzer is the transitive hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "reject //pepvet:hotpath functions whose transitive callees may allocate",
+	BeginIPA: begin,
+	Run:      run,
+}
+
+// An allocStep is one function's summary entry: the lexically first
+// may-allocate fact the function reaches, with the next hop toward it.
+type allocStep struct {
+	// msg is the construct's hotpath-style message.
+	msg string
+	// via is the callee the fact flows through; nil when the construct is
+	// in the function's own body.
+	via *types.Func
+}
+
+// allocFacts is the analyzer's Pass.Global.
+type allocFacts struct {
+	reach map[*types.Func]*allocStep
+}
+
+// begin classifies every loaded function body once and propagates
+// may-allocate facts bottom-up over the SCCs.
+func begin(_ *analysis.Analyzer, ipa *analysis.IPA, pkgs []*analysis.Package) any {
+	facts := &allocFacts{reach: make(map[*types.Func]*allocStep)}
+	for _, scc := range ipa.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if facts.reach[n.Obj] != nil {
+					continue
+				}
+				if step := directFact(ipa, n); step != nil {
+					facts.reach[n.Obj] = step
+					changed = true
+					continue
+				}
+				for _, call := range n.Calls {
+					if ipa.Node(call.Callee) == nil || facts.reach[call.Callee] == nil {
+						continue
+					}
+					pos := n.Pkg.Fset.Position(call.Site.Pos())
+					if ipa.Allowed(name, pos) {
+						continue
+					}
+					facts.reach[n.Obj] = &allocStep{msg: facts.reach[call.Callee].msg, via: call.Callee}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// directFact returns the first allocation-inducing construct in n's own
+// body, skipping constructs justified at the leaf under either the hotpath
+// or the allocflow name.
+func directFact(ipa *analysis.IPA, n *analysis.FuncNode) *allocStep {
+	qual := types.RelativeTo(n.Pkg.Types)
+	for _, f := range hotpath.Facts(n.Pkg.Info, qual, n.Decl) {
+		pos := n.Pkg.Fset.Position(f.Pos)
+		if ipa.Allowed(name, pos) || ipa.Allowed("hotpath", pos) {
+			continue
+		}
+		return &allocStep{msg: f.Message}
+	}
+	return nil
+}
+
+// run checks every call site inside //pepvet:hotpath functions against the
+// callee summaries.
+func run(pass *analysis.Pass) {
+	facts, _ := pass.Global.(*allocFacts)
+	if facts == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective("hotpath", fd.Doc) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.CalleeFunc(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				if step := facts.reach[fn]; step != nil {
+					pass.Reportf(call.Pos(), "call to %s may allocate on the hot path: %s (%s)",
+						analysis.FuncDisplayName(fn), step.msg, witnessChain(facts, fn, step))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// witnessChain renders the path callee → ... → allocating function.
+func witnessChain(facts *allocFacts, fn *types.Func, step *allocStep) string {
+	var b strings.Builder
+	b.WriteString(analysis.FuncDisplayName(fn))
+	for depth := 0; step.via != nil && depth < 10; depth++ {
+		b.WriteString(" → ")
+		b.WriteString(analysis.FuncDisplayName(step.via))
+		next := facts.reach[step.via]
+		if next == nil {
+			break
+		}
+		step = next
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+// Package a is the allocflow analyzer's seeded-violation corpus: hot-path
+// functions whose allocations hide behind calls, where the intraprocedural
+// hotpath analyzer provably cannot see them. Every flagged call site
+// carries a `// want` expectation with the witness chain.
+package a
+
+import "fmt"
+
+// hot calls an allocating construct three frames down: the summary carries
+// the chain to the leaf.
+//
+//pepvet:hotpath
+func hot(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum + deep(xs) // want "call to a.deep may allocate on the hot path: fmt.Sprintf allocates .* \(a.deep → a.mid → a.leaf\)"
+}
+
+func deep(xs []float64) float64 { return mid(xs) }
+
+func mid(xs []float64) float64 { return leaf(xs) }
+
+func leaf(xs []float64) float64 {
+	_ = fmt.Sprintf("%d", len(xs))
+	return 0
+}
+
+// selfRec is recursive (a one-member SCC with a self loop) and allocates
+// via append growth on an unhinted local; the fixpoint must terminate and
+// still summarize it.
+func selfRec(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	var out []int
+	out = append(out, n)
+	return append(out, selfRec(n-1)...)
+}
+
+//pepvet:hotpath
+func hotRec(n int) int {
+	return len(selfRec(n)) // want "call to a.selfRec may allocate on the hot path: append grows out, a local slice declared without a capacity hint"
+}
+
+// scaled's only construct is justified at the leaf — under the hotpath
+// name, proving either name cuts the fact — so callers stay clean.
+func scaled(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		//pepvet:allow hotpath growth amortizes: the buffer is handed to a reuse pool after the sweep
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+//pepvet:hotpath
+func hotScaled(xs []float64) float64 {
+	ys := scaled(xs)
+	return ys[0]
+}
+
+// A call-site allow accepts one chain without justifying the helper for
+// every other caller.
+//
+//pepvet:hotpath
+func hotSetup(xs []float64) float64 {
+	//pepvet:allow allocflow one-time setup before the per-candidate loop starts
+	return deep(xs)
+}
+
+// Non-annotated callers of allocating helpers are not the analyzer's
+// business: only //pepvet:hotpath functions are checked.
+func cold(xs []float64) float64 { return deep(xs) }

@@ -47,6 +47,15 @@ type Analyzer struct {
 	// It is how an analyzer gathers cross-package facts (e.g. which types
 	// carry a //pepvet:perrank marker) without export-data side channels.
 	Begin func(pkgs []*Package) any
+	// BeginIPA, when non-nil, runs once over the interprocedural view of
+	// the load (call graph + bottom-up SCC order); its result is exposed to
+	// every pass as Pass.Global. The driver builds a single IPA per
+	// RunAnalyzers call and shares it across all analyzers that request
+	// one, so summary computation is paid once however many analyzers run.
+	// The analyzer itself is passed back in so summary builders can consult
+	// the AppliesTo predicate actually in force (the analysistest harness
+	// substitutes one scoped to the corpus package).
+	BeginIPA func(a *Analyzer, ipa *IPA, pkgs []*Package) any
 	// Run performs the per-package analysis.
 	Run func(*Pass)
 }
@@ -193,6 +202,43 @@ type allowDirective struct {
 	analyzer string
 	reason   string
 	used     bool
+	// duplicate marks a reasoned directive shadowed by another directive for
+	// the same analyzer on the same or the following line; shadowedBy is the
+	// shadowing directive's line.
+	duplicate  bool
+	shadowedBy int
+}
+
+// enclosingStmtLine returns the starting line of the innermost statement (or
+// top-level value spec) enclosing pos, or 0 when none is found. It lets an
+// allow directive attached to the first line of a multiline statement cover
+// findings on the statement's continuation lines.
+func enclosingStmtLine(pkg *Package, pos token.Position) int {
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil || tf.Name() != pos.Filename || pos.Offset >= tf.Size() {
+			continue
+		}
+		p := tf.Pos(pos.Offset)
+		var best ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || n == f {
+				return n == f
+			}
+			if p < n.Pos() || p >= n.End() {
+				return false
+			}
+			switch n.(type) {
+			case ast.Stmt, *ast.ValueSpec:
+				best = n // preorder walk: the deepest match wins
+			}
+			return true
+		})
+		if best != nil {
+			return pkg.Fset.Position(best.Pos()).Line
+		}
+	}
+	return 0
 }
 
 // collectAllows scans every comment of the package for allow directives.
@@ -231,10 +277,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers)+1)
 	known[DriverName] = true
 	globals := make(map[*Analyzer]any)
+	var ipa *IPA // built lazily, shared by every BeginIPA analyzer
 	for _, a := range analyzers {
 		known[a.Name] = true
 		if a.Begin != nil {
 			globals[a] = a.Begin(pkgs)
+		}
+		if a.BeginIPA != nil {
+			if ipa == nil {
+				ipa = BuildIPA(pkgs)
+			}
+			globals[a] = a.BeginIPA(a, ipa, pkgs)
 		}
 	}
 
@@ -260,26 +313,65 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 
 		allows := collectAllows(pkg)
-		type allowKey struct {
-			file     string
-			line     int
-			analyzer string
-		}
-		index := make(map[allowKey]*allowDirective, len(allows))
+
+		// Duplicate detection: two reasoned directives for the same analyzer
+		// on the same or adjacent lines cover the same statement, so exactly
+		// one is effective. The one closer to the code (the later line) wins;
+		// the shadowed one gets a single deterministic diagnostic instead of
+		// a misleading "unused" report.
+		reasoned := make([]*allowDirective, 0, len(allows))
 		for _, al := range allows {
-			if al.reason != "" { // reason-less directives are inert
+			if al.reason != "" && known[al.analyzer] {
+				reasoned = append(reasoned, al)
+			}
+		}
+		sort.Slice(reasoned, func(i, j int) bool {
+			a, b := reasoned[i], reasoned[j]
+			if a.file != b.file {
+				return a.file < b.file
+			}
+			if a.analyzer != b.analyzer {
+				return a.analyzer < b.analyzer
+			}
+			return a.line < b.line
+		})
+		for i := 0; i+1 < len(reasoned); i++ {
+			a, b := reasoned[i], reasoned[i+1]
+			if a.file == b.file && a.analyzer == b.analyzer && b.line-a.line <= 1 {
+				a.duplicate = true
+				a.shadowedBy = b.line
+			}
+		}
+
+		index := make(map[allowKey]*allowDirective, len(allows))
+		for _, al := range reasoned {
+			if !al.duplicate { // reason-less and shadowed directives are inert
 				index[allowKey{al.file, al.line, al.analyzer}] = al
 			}
 		}
+		match := func(d *Diagnostic, line int) bool {
+			al, ok := index[allowKey{d.Pos.Filename, line, d.Analyzer}]
+			if !ok {
+				return false
+			}
+			d.Suppressed = true
+			d.Reason = al.reason
+			al.used = true
+			return true
+		}
 		for i := range pkgDiags {
 			d := &pkgDiags[i]
-			for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-				if al, ok := index[allowKey{d.Pos.Filename, line, d.Analyzer}]; ok {
-					d.Suppressed = true
-					d.Reason = al.reason
-					al.used = true
-					break
+			if match(d, d.Pos.Line) || match(d, d.Pos.Line-1) {
+				continue
+			}
+			// Multiline statements (composite literals, wrapped calls): an
+			// allow on — or directly above — the first line of the innermost
+			// enclosing statement covers findings anywhere inside it.
+			if start := enclosingStmtLine(pkg, d.Pos); start > 0 && start != d.Pos.Line {
+				if match(d, start) {
+					continue
 				}
+				match(d, start-1)
 			}
 		}
 		diags = append(diags, pkgDiags...)
@@ -287,13 +379,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		for _, al := range allows {
 			pos := token.Position{Filename: al.file, Line: al.line, Column: 1}
 			switch {
-			case al.reason == "":
-				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
-					Message: fmt.Sprintf("//pepvet:allow %s needs a reason; a justification-free suppression is ignored", al.analyzer)})
 			case !known[al.analyzer]:
 				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
 					Message: fmt.Sprintf("//pepvet:allow names unknown analyzer %q", al.analyzer)})
-			case !al.used && ran[al.analyzer]:
+			case al.reason == "":
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
+					Message: fmt.Sprintf("//pepvet:allow %s needs a reason; a justification-free suppression is ignored", al.analyzer)})
+			case al.duplicate:
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
+					Message: fmt.Sprintf("duplicate //pepvet:allow %s directive: superseded by the directive on line %d", al.analyzer, al.shadowedBy)})
+			case !al.used && ran[al.analyzer] &&
+				!(ipa != nil && ipa.Consumed(al.analyzer, al.file, al.line)):
 				diags = append(diags, Diagnostic{Pos: pos, Analyzer: DriverName,
 					Message: fmt.Sprintf("unused //pepvet:allow %s directive: no finding on this or the following line", al.analyzer)})
 			}

@@ -113,6 +113,95 @@ var e = 5
 	}
 }
 
+// TestAllowDuplicateDirectives pins the stacked-directive rule: when two
+// reasoned allows for the same analyzer sit on adjacent lines, the one
+// closer to the code wins, and the shadowed one gets a single deterministic
+// "duplicate" diagnostic instead of a misleading "unused" report.
+func TestAllowDuplicateDirectives(t *testing.T) {
+	pkg := parseTestPkg(t, `package p
+
+//pepvet:allow demo stale justification, superseded
+//pepvet:allow demo effective justification
+var a = 1
+`)
+	demo := &Analyzer{Name: "demo", Doc: "test analyzer", Run: func(pass *Pass) {
+		pass.Reportf(lineStart(pkg, 5), "finding on a")
+	}}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{demo})
+
+	var driver []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "demo":
+			if !d.Suppressed || d.Reason != "effective justification" {
+				t.Errorf("finding on a: suppressed=%v reason=%q, want suppression by the closer directive", d.Suppressed, d.Reason)
+			}
+		case DriverName:
+			driver = append(driver, d)
+		}
+	}
+	if len(driver) != 1 {
+		t.Fatalf("driver diagnostics = %v, want exactly one", driver)
+	}
+	if d := driver[0]; d.Pos.Line != 3 || !strings.Contains(d.Message, "duplicate //pepvet:allow demo") || !strings.Contains(d.Message, "line 4") {
+		t.Errorf("duplicate diagnostic = %d: %q, want the shadowed line-3 directive naming line 4", d.Pos.Line, d.Message)
+	}
+}
+
+// TestAllowMultilineStatement pins directive reach into wrapped statements:
+// an allow on (or directly above) the first line of a multiline composite
+// literal covers findings on its continuation lines, and only that
+// statement's lines.
+func TestAllowMultilineStatement(t *testing.T) {
+	pkg := parseTestPkg(t, `package p
+
+//pepvet:allow demo the whole literal is sanctioned
+var m = map[string]int{
+	"a": 1,
+}
+
+var n = map[string]int{
+	"b": 2,
+}
+`)
+	demo := &Analyzer{Name: "demo", Doc: "test analyzer", Run: func(pass *Pass) {
+		pass.Reportf(lineStart(pkg, 5), "inside covered literal")
+		pass.Reportf(lineStart(pkg, 9), "inside uncovered literal")
+	}}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{demo})
+	for _, d := range diags {
+		switch {
+		case d.Message == "inside covered literal" && !d.Suppressed:
+			t.Error("finding on the literal's continuation line was not covered by the directive on its first line")
+		case d.Message == "inside uncovered literal" && d.Suppressed:
+			t.Error("directive leaked into a different statement")
+		case d.Analyzer == DriverName:
+			t.Errorf("unexpected driver diagnostic: %s", d.Message)
+		}
+	}
+}
+
+// TestAllowUnknownAnalyzerPrecedence pins the hygiene ordering: a directive
+// naming an unknown analyzer gets exactly the unknown-analyzer diagnostic,
+// even when it also lacks a reason and suppresses nothing.
+func TestAllowUnknownAnalyzerPrecedence(t *testing.T) {
+	pkg := parseTestPkg(t, `package p
+
+//pepvet:allow nosuch
+var a = 1
+`)
+	demo := &Analyzer{Name: "demo", Doc: "test analyzer", Run: func(*Pass) {}}
+	var driver []Diagnostic
+	for _, d := range RunAnalyzers([]*Package{pkg}, []*Analyzer{demo}) {
+		if d.Analyzer == DriverName {
+			driver = append(driver, d)
+		}
+	}
+	if len(driver) != 1 || !strings.Contains(driver[0].Message, `unknown analyzer "nosuch"`) {
+		t.Errorf("driver diagnostics = %v, want exactly the unknown-analyzer report", driver)
+	}
+}
+
 func TestAppliesToGatesAnalyzer(t *testing.T) {
 	pkg := parseTestPkg(t, "package p\n\nvar x = 1\n")
 	ran := false

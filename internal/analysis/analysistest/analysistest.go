@@ -34,22 +34,40 @@ type expectation struct {
 	raw  string
 }
 
-// Run loads the package in dir, applies the analyzer through the standard
-// driver (so //pepvet:allow handling is exercised), and reports mismatches
-// between diagnostics and want expectations on t.
-func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+// Run loads the corpus in dir (the package in dir plus helper packages in
+// its subdirectories), applies the analyzer through the standard driver (so
+// //pepvet:allow handling is exercised), and reports mismatches between
+// diagnostics and want expectations on t. Companion analyzers run alongside
+// the primary — their diagnostics are checked against the same wants — which
+// lets a corpus exercise cross-analyzer behavior such as //pepvet:allow
+// directives naming a companion (the driver treats directives for analyzers
+// outside the run as unknown-analyzer hygiene errors).
+func Run(t *testing.T, a *analysis.Analyzer, dir string, companions ...*analysis.Analyzer) {
 	t.Helper()
-	pkg, err := analysis.LoadDir(dir)
+	pkgs, err := analysis.LoadCorpus(dir)
 	if err != nil {
 		t.Fatalf("loading corpus %s: %v", dir, err)
 	}
 	// The corpus package's path (its package name) never matches a driver
-	// package filter; run the analyzer unconditionally.
-	unfiltered := *a
-	unfiltered.AppliesTo = nil
-	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{&unfiltered})
+	// package filter. An unrestricted analyzer stays unrestricted; a
+	// restricted one is re-scoped to the main corpus package, so helper
+	// subpackages keep playing the "foreign, unblessed package" role the
+	// interprocedural analyzers distinguish.
+	suite := make([]*analysis.Analyzer, 0, 1+len(companions))
+	for _, orig := range append([]*analysis.Analyzer{a}, companions...) {
+		scoped := *orig
+		if orig.AppliesTo != nil {
+			mainPath := pkgs[0].Path
+			scoped.AppliesTo = func(pkgPath string) bool { return pkgPath == mainPath }
+		}
+		suite = append(suite, &scoped)
+	}
+	diags := analysis.RunAnalyzers(pkgs, suite)
 
-	wants := parseWants(t, pkg)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, parseWants(t, pkg)...)
+	}
 	for _, d := range diags {
 		if d.Suppressed {
 			continue

@@ -1,0 +1,217 @@
+// Package blockreg implements the pepvet analyzer that guards the
+// blocked-state registry protocol in internal/cluster. A rank that parks on
+// machine state — a loop around a blocking select, waiting for a mailbox
+// slot, an exposed window, or a collective round — must tell the doomed-rank
+// analysis it is parked (setBlocked) before every park and clear the mark on
+// the way out (a deferred clearBlocked), otherwise the can-progress fixpoint
+// undercounts waiters and a crash elsewhere either deadlocks the survivors
+// or unwinds them nondeterministically — the lost-wakeup class of bug the
+// registry exists to prevent.
+//
+// A parking loop is a for/range statement whose body contains a select with
+// no default clause (a select with default polls and moves on; a bare
+// select blocks). For each parking loop the analyzer requires
+//
+//   - a call to setBlocked — directly in the loop body or transitively
+//     through a callee, resolved over the call-graph summaries — so the
+//     registration happens on every iteration before parking, and
+//   - a deferred clearBlocked (again possibly transitive) anywhere in the
+//     enclosing function, so the registration cannot leak past the wait.
+//
+// Matching is by function name (setBlocked / clearBlocked), which keeps the
+// corpus self-contained. Selects inside nested function literals are not
+// attributed to the enclosing function: a goroutine parks in its own
+// context. Loops that legitimately bypass the registry (the progress-log
+// service loop, whose waiters are woken by its own broadcast discipline)
+// are suppressed with //pepvet:allow blockreg <reason> on the loop line.
+package blockreg
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pepscale/internal/analysis"
+)
+
+const name = "blockreg"
+
+// Analyzer is the blocked-state registry checker.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "require loops in internal/cluster that park on machine state to register with the blocked-state registry",
+	AppliesTo: func(path string) bool {
+		return path == "internal/cluster" || strings.HasSuffix(path, "/internal/cluster")
+	},
+	BeginIPA: begin,
+	Run:      run,
+}
+
+// regFacts is the analyzer's Pass.Global: which functions transitively call
+// setBlocked resp. clearBlocked.
+type regFacts struct {
+	registers map[*types.Func]bool
+	clears    map[*types.Func]bool
+}
+
+// begin propagates "calls setBlocked/clearBlocked" bottom-up over the SCCs.
+func begin(_ *analysis.Analyzer, ipa *analysis.IPA, pkgs []*analysis.Package) any {
+	facts := &regFacts{
+		registers: make(map[*types.Func]bool),
+		clears:    make(map[*types.Func]bool),
+	}
+	mark := func(set map[*types.Func]bool, target string) {
+		for _, scc := range ipa.SCCs() {
+			for changed := true; changed; {
+				changed = false
+				for _, n := range scc {
+					if set[n.Obj] {
+						continue
+					}
+					for _, call := range n.Calls {
+						if call.Callee.Name() == target || set[call.Callee] {
+							set[n.Obj] = true
+							changed = true
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	mark(facts.registers, "setBlocked")
+	mark(facts.clears, "clearBlocked")
+	return facts
+}
+
+func run(pass *analysis.Pass) {
+	facts, _ := pass.Global.(*regFacts)
+	if facts == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, facts, fd)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, facts *regFacts, fd *ast.FuncDecl) {
+	clears := hasDeferredClear(pass.TypesInfo, facts, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a goroutine parks in its own context
+		}
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		if !containsBlockingSelect(body) {
+			return true
+		}
+		switch {
+		case !registersInLoop(pass.TypesInfo, facts, body):
+			pass.Reportf(n.Pos(), "loop parks on a blocking select without registering with the blocked-state registry; call setBlocked before parking so the doomed-rank analysis can see the waiter")
+		case !clears:
+			pass.Reportf(n.Pos(), "parking loop registers with setBlocked but the function never defers clearBlocked; the registration would leak past the wait")
+		}
+		return true
+	})
+}
+
+// containsBlockingSelect reports whether body holds a select with no
+// default clause, outside nested function literals.
+func containsBlockingSelect(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			blocking := true
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					blocking = false
+				}
+			}
+			if blocking {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// registersInLoop reports whether the loop body calls setBlocked, directly
+// or through a callee's summary.
+func registersInLoop(info *types.Info, facts *regFacts, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.CalleeFunc(info, call); fn != nil &&
+			(fn.Name() == "setBlocked" || facts.registers[fn]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasDeferredClear reports whether body defers a call that (transitively)
+// reaches clearBlocked — either `defer x.clearBlocked(...)` or a deferred
+// closure whose body calls it.
+func hasDeferredClear(info *types.Info, facts *regFacts, body *ast.BlockStmt) bool {
+	clearCall := func(call *ast.CallExpr) bool {
+		fn := analysis.CalleeFunc(info, call)
+		return fn != nil && (fn.Name() == "clearBlocked" || facts.clears[fn])
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // non-deferred closures run in their own context
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if clearCall(d.Call) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && clearCall(call) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

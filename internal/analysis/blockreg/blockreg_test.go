@@ -1,0 +1,29 @@
+package blockreg_test
+
+import (
+	"testing"
+
+	"pepscale/internal/analysis/analysistest"
+	"pepscale/internal/analysis/blockreg"
+)
+
+// TestSeededViolations runs the analyzer over the corpus: the
+// park-without-register and register-without-deferred-clear loops must be
+// flagged, while the compliant loops — direct, transitive through helpers,
+// closure-deferred clears, polling selects, goroutine bodies, and the
+// justified bypass — stay silent.
+func TestSeededViolations(t *testing.T) {
+	analysistest.Run(t, blockreg.Analyzer, "testdata")
+}
+
+// TestAppliesTo pins the analyzer to the cluster package alone.
+func TestAppliesTo(t *testing.T) {
+	if !blockreg.Analyzer.AppliesTo("pepscale/internal/cluster") {
+		t.Error("AppliesTo(pepscale/internal/cluster) = false, want true")
+	}
+	for _, path := range []string{"pepscale/internal/core", "pepscale/internal/topk", "pepscale"} {
+		if blockreg.Analyzer.AppliesTo(path) {
+			t.Errorf("AppliesTo(%q) = true, want false", path)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package a is the blockreg analyzer's seeded-violation corpus: parking
+// loops (a for/range around a blocking select) that skip the blocked-state
+// registry protocol. Matching is by function name, so the miniature
+// registry below stands in for the cluster's.
+package a
+
+// registry is the corpus stand-in for the machine's blocked-state registry.
+type registry struct{ blocked map[int]bool }
+
+func (g *registry) setBlocked(id int)   { g.blocked[id] = true }
+func (g *registry) clearBlocked(id int) { delete(g.blocked, id) }
+
+// parkNoRegister is the seeded violation: it parks without ever telling the
+// doomed-rank analysis.
+func parkNoRegister(ch chan int) {
+	for { // want "loop parks on a blocking select without registering with the blocked-state registry"
+		select {
+		case v := <-ch:
+			if v == 0 {
+				return
+			}
+		}
+	}
+}
+
+// parkNoClear registers but never defers the clear: the registration would
+// leak past the wait.
+func parkNoClear(g *registry, ch chan int) {
+	for { // want "parking loop registers with setBlocked but the function never defers clearBlocked"
+		g.setBlocked(1)
+		select {
+		case v := <-ch:
+			if v == 0 {
+				return
+			}
+		}
+	}
+}
+
+// parkOK follows the protocol directly.
+func parkOK(g *registry, ch chan int) {
+	defer g.clearBlocked(1)
+	for {
+		g.setBlocked(1)
+		select {
+		case v := <-ch:
+			if v == 0 {
+				return
+			}
+		}
+	}
+}
+
+// register and cleanup hide the protocol one call down; the summaries must
+// see through them.
+func register(g *registry) { g.setBlocked(2) }
+func cleanup(g *registry)  { g.clearBlocked(2) }
+
+func parkTransitive(g *registry, ch chan int) {
+	defer cleanup(g)
+	for {
+		register(g)
+		select {
+		case v := <-ch:
+			if v == 0 {
+				return
+			}
+		}
+	}
+}
+
+// parkClosureClear defers the clear through a closure, the common
+// multi-step-teardown shape.
+func parkClosureClear(g *registry, ch chan int) {
+	defer func() {
+		g.clearBlocked(3)
+	}()
+	for {
+		g.setBlocked(3)
+		select {
+		case v := <-ch:
+			if v == 0 {
+				return
+			}
+		}
+	}
+}
+
+// poll's select has a default clause: it never parks, so the registry is
+// not required.
+func poll(ch chan int) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// spawn parks inside a goroutine: the closure is its own accounting
+// context, not the enclosing function's.
+func spawn(ch, done chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				if v == 0 {
+					done <- 0
+					return
+				}
+			}
+		}
+	}()
+}
+
+// selfWaking legitimately bypasses the registry and says why.
+func selfWaking(ch chan int) {
+	//pepvet:allow blockreg this loop wakes its own waiters through its broadcast discipline
+	for {
+		select {
+		case v := <-ch:
+			if v == 0 {
+				return
+			}
+		}
+	}
+}

@@ -1,12 +1,16 @@
 package analysis_test
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"pepscale/internal/analysis"
+	"pepscale/internal/analysis/allocflow"
+	"pepscale/internal/analysis/blockreg"
+	"pepscale/internal/analysis/clockaudit"
 	"pepscale/internal/analysis/determinism"
 	"pepscale/internal/analysis/hotpath"
 	"pepscale/internal/analysis/ranksafety"
@@ -26,11 +30,26 @@ func moduleRoot(t *testing.T) string {
 	return filepath.Dir(gomod)
 }
 
-// TestRepoIsPepvetClean is the meta-regression: the full pepvet suite over
-// the real repository packages must produce no unsuppressed findings — the
-// same contract `make lint` enforces — while the deliberate, justified
-// //pepvet:allow sites must actually engage (proving the directives are
-// load-bearing rather than dead comments).
+// fullSuite is the same analyzer set cmd/pepvet applies (kept in sync by
+// TestSuiteMatchesPepvetCommand in cmd/pepvet).
+func fullSuite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		allocflow.Analyzer,
+		ranksafety.Analyzer,
+		clockaudit.Analyzer,
+		blockreg.Analyzer,
+	}
+}
+
+// TestRepoIsPepvetClean is the meta-regression: the full six-analyzer pepvet
+// suite over every repository package — internal, cmd, and examples trees
+// alike — must produce no unsuppressed findings and no directive hygiene
+// complaints (every //pepvet:allow justified AND engaged), the same contract
+// `make lint` enforces. The deliberate allow sites must actually suppress
+// something, proving the directives are load-bearing rather than dead
+// comments.
 func TestRepoIsPepvetClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping whole-repo load")
@@ -42,13 +61,31 @@ func TestRepoIsPepvetClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
-	suite := []*analysis.Analyzer{determinism.Analyzer, hotpath.Analyzer, ranksafety.Analyzer}
-	diags := analysis.RunAnalyzers(pkgs, suite)
+	covered := map[string]bool{}
+	for _, pkg := range pkgs {
+		switch {
+		case strings.Contains(pkg.Path, "/cmd/"):
+			covered["cmd"] = true
+		case strings.Contains(pkg.Path, "/examples/"):
+			covered["examples"] = true
+		}
+	}
+	for _, tree := range []string{"cmd", "examples"} {
+		if !covered[tree] {
+			t.Errorf("the ./... load covered no %s/... packages; the lint surface has silently shrunk", tree)
+		}
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, fullSuite())
 	suppressed := 0
 	for _, d := range diags {
 		if d.Suppressed {
 			suppressed++
 			t.Logf("allowed [%s] %s:%d: %s (reason: %s)", d.Analyzer, filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Reason)
+			continue
+		}
+		if d.Analyzer == analysis.DriverName {
+			t.Errorf("directive hygiene: %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
 			continue
 		}
 		t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
@@ -87,5 +124,82 @@ func TestRepoAnnotationsPresent(t *testing.T) {
 		if !marked[want] {
 			t.Errorf("type %s has lost its //pepvet:perrank marker", want)
 		}
+	}
+}
+
+// TestSeededRegressionCaughtOnlyInterprocedurally plants the exact bug class
+// the interprocedural layer was built for — a wall-clock read hidden three
+// calls below an internal/core entry point, and an allocating helper under a
+// //pepvet:hotpath function — in a throwaway module, then checks the pre-PR
+// analyzer suite (direct-only determinism, intraprocedural hotpath,
+// ranksafety) passes it cleanly while the current suite reports both.
+func TestSeededRegressionCaughtOnlyInterprocedurally(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixture\n\ngo 1.22\n")
+	write("internal/core/scan.go", `package core
+
+import "fixture/internal/util"
+
+//pepvet:hotpath
+func scanCandidates(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum + util.Jitter(sum)
+}
+
+func stampScan() int64 { return util.Stamp() }
+`)
+	write("internal/util/util.go", `package util
+
+import (
+	"fmt"
+	"time"
+)
+
+func Stamp() int64 { return stamp1() }
+
+func stamp1() int64 { return stamp2() }
+
+func stamp2() int64 { return time.Now().UnixNano() }
+
+func Jitter(x float64) float64 {
+	s := fmt.Sprintf("%.3f", x)
+	return float64(len(s))
+}
+`)
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+
+	oldSuite := []*analysis.Analyzer{determinism.NewDirectOnly(), hotpath.Analyzer, ranksafety.Analyzer}
+	for _, d := range analysis.RunAnalyzers(pkgs, oldSuite) {
+		if !d.Suppressed {
+			t.Errorf("pre-PR suite flagged %s:%d [%s] %s — the fixture must be invisible intraprocedurally", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+
+	caught := map[string]bool{}
+	for _, d := range analysis.RunAnalyzers(pkgs, fullSuite()) {
+		if !d.Suppressed {
+			caught[d.Analyzer] = true
+		}
+	}
+	if !caught["determinism"] {
+		t.Error("full suite missed the helper-hidden time.Now three calls below internal/core")
+	}
+	if !caught["allocflow"] {
+		t.Error("full suite missed the allocating helper under the //pepvet:hotpath function")
 	}
 }

@@ -1,8 +1,10 @@
 package determinism_test
 
 import (
+	"strings"
 	"testing"
 
+	"pepscale/internal/analysis"
 	"pepscale/internal/analysis/analysistest"
 	"pepscale/internal/analysis/determinism"
 )
@@ -15,14 +17,48 @@ func TestSeededViolations(t *testing.T) {
 	analysistest.Run(t, determinism.Analyzer, "testdata")
 }
 
+// TestDirectOnlyMissesTransitiveTaint pins why the interprocedural layer
+// exists: the pre-v2 analyzer (direct source checks only) sees nothing wrong
+// with the corpus's main package calls into the helper package, while the
+// full analyzer reports every hidden chain. A regression that reintroduces
+// helper-hidden nondeterminism is caught only by the v2 summaries.
+func TestDirectOnlyMissesTransitiveTaint(t *testing.T) {
+	pkgs, err := analysis.LoadCorpus("testdata")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	scoped := func(a *analysis.Analyzer) *analysis.Analyzer {
+		b := *a
+		mainPath := pkgs[0].Path
+		b.AppliesTo = func(pkgPath string) bool { return pkgPath == mainPath }
+		return &b
+	}
+	count := func(a *analysis.Analyzer) int {
+		n := 0
+		for _, d := range analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a}) {
+			if !d.Suppressed && d.Analyzer == a.Name && strings.Contains(d.Message, "transitively reaches") {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(scoped(determinism.NewDirectOnly())); got != 0 {
+		t.Errorf("direct-only analyzer reported %d transitive findings, want 0", got)
+	}
+	if got := count(scoped(determinism.Analyzer)); got < 3 {
+		t.Errorf("full analyzer reported %d transitive findings, want at least 3 (time.Now, rand.Intn, os.Getenv chains)", got)
+	}
+}
+
 // TestAppliesTo pins the deterministic package set: the analyzer must cover
-// the five engine packages and nothing else.
+// the engine packages and nothing else.
 func TestAppliesTo(t *testing.T) {
 	for _, path := range []string{
 		"pepscale/internal/cluster",
 		"pepscale/internal/core",
 		"pepscale/internal/digest",
 		"pepscale/internal/score",
+		"pepscale/internal/spectrum",
 		"pepscale/internal/synth",
 	} {
 		if !determinism.Analyzer.AppliesTo(path) {

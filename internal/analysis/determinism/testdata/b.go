@@ -1,0 +1,37 @@
+// Transitive determinism cases: the helper subpackage hides each source
+// behind exported entry points, and the v2 summaries surface the taint at
+// the first blessed call site with the witness chain in the message.
+package a
+
+import "helper"
+
+// outer's call lands on a blessed sibling: blessed functions carry no
+// summary, so nothing is reported here — the chain is reported exactly
+// once, at inner's call below, where it leaves the blessed set.
+func outer() int64 { return inner() }
+
+func inner() int64 {
+	return helper.Stamp() // want "call to helper.Stamp transitively reaches time.Now \(helper.Stamp → helper.stampImpl → helper.now → time.Now\)"
+}
+
+func drawDepth(n int) int {
+	return helper.Ping(n) // want "call to helper.Ping transitively reaches global math/rand.Intn \(helper.Ping → helper.pong → global math/rand.Intn\)"
+}
+
+// The leaf allow inside helper.SortedKeys cut the map-range fact during
+// summary building, so this call is clean without any directive here.
+func keyList(m map[string]int) []string {
+	return helper.SortedKeys(m)
+}
+
+// A call-site allow accepts one specific chain without blessing the helper
+// for every other caller.
+func debugDump() string {
+	//pepvet:allow determinism debug output never feeds the deterministic compute path
+	return helper.Environment()
+}
+
+// want-free control: the same helper called without the directive is caught.
+func leakedDump() string {
+	return helper.Environment() // want "call to helper.Environment transitively reaches os.Getenv \(helper.Environment → os.Getenv\)"
+}

@@ -1,0 +1,55 @@
+// Package helper is the foreign, unblessed package of the determinism
+// corpus: its exported entry points hide nondeterminism several frames
+// down, where only the interprocedural summaries can see it. The package
+// itself is never directly analyzed (it is outside the blessed set), so
+// nothing here carries a want expectation — the findings land on the
+// blessed call sites in the main corpus package.
+package helper
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Stamp hides a wall-clock read three calls below the blessed caller.
+func Stamp() int64 { return stampImpl() }
+
+func stampImpl() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }
+
+// Ping and pong are mutually recursive — a two-member SCC — and reach the
+// process-global rand through pong, so the fixpoint must give both members
+// the summary.
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int {
+	if n <= 0 {
+		return rand.Intn(8)
+	}
+	return Ping(n - 1)
+}
+
+// SortedKeys iterates a map but justifies it at the leaf: the reasoned
+// allow cuts the fact before it can propagate, so no caller anywhere sees
+// a finding.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//pepvet:allow determinism keys are collected then sorted; no order escapes
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Environment reads the environment without a leaf justification: blessed
+// callers must justify each call site individually.
+func Environment() string { return os.Getenv("PEPSCALE_DEBUG") }

@@ -18,12 +18,17 @@
 //   - implicit conversions of non-pointer values to interface types — the
 //     value is boxed.
 //
+// The same construct detection is exported as Facts for the allocflow
+// analyzer, which applies it to every function in the load and propagates
+// may-allocate summaries up the call graph.
+//
 // When an annotated function legitimately allocates off the per-candidate
 // path (setup, error reporting), suppress with
 // //pepvet:allow hotpath <reason>.
 package hotpath
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -39,6 +44,12 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+// A Fact is one allocation-inducing construct in a function body.
+type Fact struct {
+	Pos     token.Pos
+	Message string
+}
+
 func run(pass *analysis.Pass) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -46,37 +57,61 @@ func run(pass *analysis.Pass) {
 			if !ok || fd.Body == nil || !analysis.HasDirective("hotpath", fd.Doc) {
 				continue
 			}
-			checkFunc(pass, fd)
+			for _, f := range Facts(pass.TypesInfo, pass.Qualifier(), fd) {
+				pass.Reportf(f.Pos, "%s", f.Message)
+			}
 		}
 	}
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	unhinted := collectUnhintedLocals(pass, fd.Body)
-	results := resultTypes(pass, fd)
+// Facts collects the allocation-inducing constructs in fd's body under the
+// rules documented on the package: the exact set the hotpath analyzer
+// reports inside annotated functions, in source order.
+func Facts(info *types.Info, qual types.Qualifier, fd *ast.FuncDecl) []Fact {
+	c := &checker{info: info, qual: qual}
+	c.checkFunc(fd)
+	return c.facts
+}
+
+// checker carries one function's fact collection.
+type checker struct {
+	info  *types.Info
+	qual  types.Qualifier
+	facts []Fact
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	c.facts = append(c.facts, Fact{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type { return c.info.TypeOf(e) }
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	unhinted := c.collectUnhintedLocals(fd.Body)
+	results := c.resultTypes(fd)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			if caps := analysis.CapturedVars(pass.TypesInfo, n, fd); len(caps) > 0 {
+			if caps := analysis.CapturedVars(c.info, n, fd); len(caps) > 0 {
 				names := make([]string, len(caps))
 				for i, v := range caps {
 					names[i] = v.Name()
 				}
-				pass.Reportf(n.Pos(), "closure captures %s: a capturing closure allocates its context on the heap", strings.Join(names, ", "))
+				c.reportf(n.Pos(), "closure captures %s: a capturing closure allocates its context on the heap", strings.Join(names, ", "))
 				return false // one finding per closure; its body is covered by the capture
 			}
 		case *ast.CallExpr:
-			checkCall(pass, n, unhinted)
+			c.checkCall(n, unhinted)
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isString(pass.TypeOf(n)) && !isConstant(pass, n) {
-				pass.Reportf(n.Pos(), "string concatenation allocates; build into a reused byte buffer instead")
+			if n.Op == token.ADD && isString(c.typeOf(n)) && !c.isConstant(n) {
+				c.reportf(n.Pos(), "string concatenation allocates; build into a reused byte buffer instead")
 			}
 		case *ast.AssignStmt:
-			checkAssign(pass, n)
+			c.checkAssign(n)
 		case *ast.ReturnStmt:
 			if len(results) == len(n.Results) {
 				for i, res := range n.Results {
-					reportIfaceConv(pass, res, results[i])
+					c.reportIfaceConv(res, results[i])
 				}
 			}
 		}
@@ -89,10 +124,10 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 // and make without an explicit capacity. Appending to them in a hot loop is
 // guaranteed reallocation; appending to parameters, fields, re-sliced
 // scratch, or make(len, cap) buffers is the sanctioned pattern.
-func collectUnhintedLocals(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+func (c *checker) collectUnhintedLocals(body *ast.BlockStmt) map[*types.Var]bool {
 	unhinted := make(map[*types.Var]bool)
 	classify := func(id *ast.Ident, init ast.Expr) {
-		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		v, ok := c.info.Defs[id].(*types.Var)
 		if !ok || !isSlice(v.Type()) {
 			return
 		}
@@ -102,7 +137,7 @@ func collectUnhintedLocals(pass *analysis.Pass, body *ast.BlockStmt) map[*types.
 		case *ast.CompositeLit:
 			unhinted[v] = true
 		case *ast.CallExpr:
-			if analysis.CalleeBuiltin(pass.TypesInfo, init) == "make" && len(init.Args) < 3 {
+			if analysis.CalleeBuiltin(c.info, init) == "make" && len(init.Args) < 3 {
 				unhinted[v] = true
 			}
 		}
@@ -141,25 +176,25 @@ func collectUnhintedLocals(pass *analysis.Pass, body *ast.BlockStmt) map[*types.
 	return unhinted
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, unhinted map[*types.Var]bool) {
-	if b := analysis.CalleeBuiltin(pass.TypesInfo, call); b != "" {
+func (c *checker) checkCall(call *ast.CallExpr, unhinted map[*types.Var]bool) {
+	if b := analysis.CalleeBuiltin(c.info, call); b != "" {
 		if b == "append" {
-			checkAppend(pass, call, unhinted)
+			c.checkAppend(call, unhinted)
 		}
 		return
 	}
-	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		pass.Reportf(call.Pos(), "fmt.%s allocates (interface boxing plus formatting); hot-path code must not format", fn.Name())
+	if fn := analysis.CalleeFunc(c.info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.reportf(call.Pos(), "fmt.%s allocates (interface boxing plus formatting); hot-path code must not format", fn.Name())
 		return // the boxed arguments are subsumed by this finding
 	}
-	tv, ok := pass.TypesInfo.Types[call.Fun]
+	tv, ok := c.info.Types[call.Fun]
 	if !ok {
 		return
 	}
 	if tv.IsType() {
 		// Explicit conversion T(x): flag only boxing conversions.
 		if len(call.Args) == 1 {
-			reportIfaceConv(pass, call.Args[0], tv.Type)
+			c.reportIfaceConv(call.Args[0], tv.Type)
 		}
 		return
 	}
@@ -182,11 +217,11 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, unhinted map[*types.Var]
 		default:
 			continue
 		}
-		reportIfaceConv(pass, arg, pt)
+		c.reportIfaceConv(arg, pt)
 	}
 }
 
-func checkAppend(pass *analysis.Pass, call *ast.CallExpr, unhinted map[*types.Var]bool) {
+func (c *checker) checkAppend(call *ast.CallExpr, unhinted map[*types.Var]bool) {
 	if len(call.Args) == 0 {
 		return
 	}
@@ -194,18 +229,18 @@ func checkAppend(pass *analysis.Pass, call *ast.CallExpr, unhinted map[*types.Va
 	if !ok {
 		return
 	}
-	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && unhinted[v] {
-		pass.Reportf(call.Pos(), "append grows %s, a local slice declared without a capacity hint; preallocate with make(len, cap) or reuse per-rank scratch", id.Name)
+	if v, ok := c.info.Uses[id].(*types.Var); ok && unhinted[v] {
+		c.reportf(call.Pos(), "append grows %s, a local slice declared without a capacity hint; preallocate with make(len, cap) or reuse per-rank scratch", id.Name)
 	}
 }
 
 // checkAssign flags `s += t` on strings and interface boxing through plain
 // assignment (x = v where x has interface type and v does not).
-func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+func (c *checker) checkAssign(n *ast.AssignStmt) {
 	switch n.Tok {
 	case token.ADD_ASSIGN:
-		if len(n.Lhs) == 1 && isString(pass.TypeOf(n.Lhs[0])) {
-			pass.Reportf(n.Pos(), "string concatenation allocates; build into a reused byte buffer instead")
+		if len(n.Lhs) == 1 && isString(c.typeOf(n.Lhs[0])) {
+			c.reportf(n.Pos(), "string concatenation allocates; build into a reused byte buffer instead")
 		}
 	case token.ASSIGN:
 		if len(n.Lhs) != len(n.Rhs) {
@@ -215,7 +250,7 @@ func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
 			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
 				continue
 			}
-			reportIfaceConv(pass, n.Rhs[i], pass.TypeOf(lhs))
+			c.reportIfaceConv(n.Rhs[i], c.typeOf(lhs))
 		}
 	}
 }
@@ -223,19 +258,19 @@ func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
 // reportIfaceConv flags the implicit conversion of expr to the interface
 // type dst when the conversion must box: pointer-shaped values (pointers,
 // channels, maps, funcs) are stored directly and stay allocation-free.
-func reportIfaceConv(pass *analysis.Pass, expr ast.Expr, dst types.Type) {
+func (c *checker) reportIfaceConv(expr ast.Expr, dst types.Type) {
 	if dst == nil {
 		return
 	}
 	if _, ok := dst.Underlying().(*types.Interface); !ok {
 		return
 	}
-	src := pass.TypeOf(expr)
+	src := c.typeOf(expr)
 	if src == nil || !boxes(src) {
 		return
 	}
-	pass.Reportf(expr.Pos(), "implicit conversion of %s to interface %s allocates; keep hot-path calls monomorphic",
-		types.TypeString(src, pass.Qualifier()), types.TypeString(dst, pass.Qualifier()))
+	c.reportf(expr.Pos(), "implicit conversion of %s to interface %s allocates; keep hot-path calls monomorphic",
+		types.TypeString(src, c.qual), types.TypeString(dst, c.qual))
 }
 
 // boxes reports whether storing a value of type t in an interface allocates.
@@ -250,13 +285,13 @@ func boxes(t types.Type) bool {
 	}
 }
 
-func resultTypes(pass *analysis.Pass, fd *ast.FuncDecl) []types.Type {
+func (c *checker) resultTypes(fd *ast.FuncDecl) []types.Type {
 	if fd.Type.Results == nil {
 		return nil
 	}
 	var out []types.Type
 	for _, field := range fd.Type.Results.List {
-		t := pass.TypeOf(field.Type)
+		t := c.typeOf(field.Type)
 		n := len(field.Names)
 		if n == 0 {
 			n = 1
@@ -281,7 +316,7 @@ func isString(t types.Type) bool {
 	return ok && b.Info()&types.IsString != 0
 }
 
-func isConstant(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func (c *checker) isConstant(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
 	return ok && tv.Value != nil
 }

@@ -1,0 +1,269 @@
+// Interprocedural layer of the pepvet framework: a package-level call graph
+// over the loaded packages, strongly-connected components in bottom-up
+// (callee-first) order, and the allow-directive lookup summary builders use
+// to keep justified sites out of propagated facts.
+//
+// The graph is deliberately modest — static calls only. A call through a
+// function value, an interface method, or a goroutine started with a bound
+// method is not an edge, so every interprocedural analyzer built on top is
+// a may-miss (never may-spuriously-flag) analysis: facts flow along the
+// edges that are certain, and the repo's style (free functions and concrete
+// receivers on every invariant-bearing path) keeps those edges dense where
+// it matters. Nodes are declared functions and methods with bodies; calls
+// inside function literals are attributed to the enclosing declaration, so
+// a closure cannot hide a taint source from its parent's summary.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A FuncNode is one declared function or method of a loaded package,
+// carrying its resolved static call sites.
+type FuncNode struct {
+	// Obj is the type-checker's object for the function.
+	Obj *types.Func
+	// Decl is the function's syntax (always with a non-nil body).
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package declaring the function.
+	Pkg *Package
+	// Calls lists the static call sites in the body, in source order,
+	// including calls inside nested function literals.
+	Calls []CallSite
+
+	// scc is the node's component index in bottom-up order: every callee
+	// outside the node's own component has a strictly smaller index.
+	scc int
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// A CallSite is one static call edge out of a function body.
+type CallSite struct {
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Callee is the resolved callee object. It may belong to a package
+	// outside the load (standard library), in which case Node returns nil
+	// for it and the analyzer classifies it as a leaf.
+	Callee *types.Func
+}
+
+// IPA is the interprocedural view of one load: the call graph plus the
+// directive index summary builders consult. Build once per RunAnalyzers
+// call (the driver shares a single instance across all analyzers that
+// request one via Analyzer.BeginIPA).
+type IPA struct {
+	pkgs  []*Package
+	nodes map[*types.Func]*FuncNode
+	sccs  [][]*FuncNode
+
+	// allows indexes reasoned //pepvet:allow directives by position so
+	// summary builders can keep justified sites out of propagated facts:
+	// a fact suppressed at its leaf is suppressed for every caller.
+	allows map[allowKey]bool
+	// consumed records the directives that actually cut a fact during
+	// summary building; the driver's unused-allow hygiene treats them as
+	// used even though they never suppress a surfaced diagnostic.
+	consumed map[allowKey]bool
+}
+
+// allowKey locates one reasoned allow directive.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// BuildIPA constructs the call graph and SCC order over pkgs.
+func BuildIPA(pkgs []*Package) *IPA {
+	ipa := &IPA{
+		pkgs:     pkgs,
+		nodes:    make(map[*types.Func]*FuncNode),
+		allows:   make(map[allowKey]bool),
+		consumed: make(map[allowKey]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ipa.nodes[obj] = &FuncNode{Obj: obj, Decl: fd, Pkg: pkg, index: -1}
+			}
+		}
+		for _, al := range collectAllows(pkg) {
+			if al.reason != "" {
+				ipa.allows[allowKey{al.file, al.line, al.analyzer}] = true
+			}
+		}
+	}
+	for _, n := range ipa.nodes {
+		n.Calls = collectCalls(n.Pkg.Info, n.Decl.Body)
+	}
+	ipa.computeSCCs()
+	return ipa
+}
+
+// collectCalls gathers the statically resolved call sites of body in source
+// order, descending into nested function literals.
+func collectCalls(info *types.Info, body *ast.BlockStmt) []CallSite {
+	var out []CallSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := CalleeFunc(info, call); fn != nil {
+			out = append(out, CallSite{Site: call, Callee: fn})
+		}
+		return true
+	})
+	return out
+}
+
+// Node returns the graph node for fn, or nil when fn was not declared in
+// the loaded packages (standard-library leaf, interface method, or a
+// body-less declaration).
+func (ipa *IPA) Node(fn *types.Func) *FuncNode { return ipa.nodes[fn] }
+
+// SCCs returns the strongly-connected components of the call graph in
+// bottom-up order: every static callee of a component's members belongs to
+// the same or an earlier component, so a single forward pass computes any
+// monotone summary. Within a component the members are mutually recursive;
+// a sound summary assigns the component's combined facts to every member.
+func (ipa *IPA) SCCs() [][]*FuncNode { return ipa.sccs }
+
+// Packages returns the loaded packages the graph spans.
+func (ipa *IPA) Packages() []*Package { return ipa.pkgs }
+
+// Allowed reports whether a reasoned //pepvet:allow directive for analyzer
+// sits on pos's line or the line directly above it — the same placement
+// rule the driver's suppression matching applies. Summary builders use it
+// to exclude justified leaf sites from propagated facts; a hit is recorded
+// so the directive counts as used.
+func (ipa *IPA) Allowed(analyzer string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		key := allowKey{pos.Filename, line, analyzer}
+		if ipa.allows[key] {
+			ipa.consumed[key] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Consumed reports whether the directive at (file, line) for analyzer cut a
+// fact during summary building.
+func (ipa *IPA) Consumed(analyzer, file string, line int) bool {
+	return ipa.consumed[allowKey{file, line, analyzer}]
+}
+
+// FuncDisplayName renders fn for witness chains in diagnostics: the
+// qualified form of FullName with the import path shortened to the package
+// name, e.g. "cluster.(*Rank).Send" or "topk.New".
+func FuncDisplayName(fn *types.Func) string {
+	full := fn.FullName()
+	if pkg := fn.Pkg(); pkg != nil {
+		full = strings.Replace(full, pkg.Path()+".", pkg.Name()+".", 1)
+	}
+	return full
+}
+
+// computeSCCs runs Tarjan's algorithm (iterative, deterministic node order)
+// and records components in the emission order, which for Tarjan is
+// reverse-topological: callees before callers.
+func (ipa *IPA) computeSCCs() {
+	// Deterministic root order: source position of the declaration.
+	roots := make([]*FuncNode, 0, len(ipa.nodes))
+	for _, n := range ipa.nodes {
+		roots = append(roots, n)
+	}
+	sortNodes(roots)
+
+	next := 0
+	var stack []*FuncNode
+	type frame struct {
+		n    *FuncNode
+		call int // next call edge to follow
+	}
+	for _, root := range roots {
+		if root.index >= 0 {
+			continue
+		}
+		work := []frame{{n: root}}
+		root.index, root.lowlink = next, next
+		next++
+		root.onStack = true
+		stack = append(stack, root)
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			n := fr.n
+			advanced := false
+			for fr.call < len(n.Calls) {
+				callee := ipa.nodes[n.Calls[fr.call].Callee]
+				fr.call++
+				if callee == nil {
+					continue // leaf outside the load
+				}
+				if callee.index < 0 {
+					callee.index, callee.lowlink = next, next
+					next++
+					callee.onStack = true
+					stack = append(stack, callee)
+					work = append(work, frame{n: callee})
+					advanced = true
+					break
+				}
+				if callee.onStack && callee.index < n.lowlink {
+					n.lowlink = callee.index
+				}
+			}
+			if advanced {
+				continue
+			}
+			// n is finished: pop its frame, fold lowlink into the parent,
+			// and emit a component if n is a root.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				if p := work[len(work)-1].n; n.lowlink < p.lowlink {
+					p.lowlink = n.lowlink
+				}
+			}
+			if n.lowlink == n.index {
+				var comp []*FuncNode
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					m.onStack = false
+					m.scc = len(ipa.sccs)
+					comp = append(comp, m)
+					if m == n {
+						break
+					}
+				}
+				sortNodes(comp)
+				ipa.sccs = append(ipa.sccs, comp)
+			}
+		}
+	}
+}
+
+// sortNodes orders nodes by declaration position (deterministic across
+// runs: the fileset is shared, so Pos order is file order then offset).
+func sortNodes(ns []*FuncNode) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].Decl.Pos() < ns[j-1].Decl.Pos(); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}

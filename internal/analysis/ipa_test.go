@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// loadIPAFixture builds the IPA over the testdata/ipa corpus and returns it
+// with a lookup for the fixture's package-level functions.
+func loadIPAFixture(t *testing.T) (*IPA, func(name string) *types.Func) {
+	t.Helper()
+	pkgs, err := LoadCorpus("testdata/ipa")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	ipa := BuildIPA(pkgs)
+	scope := pkgs[0].Types.Scope()
+	return ipa, func(name string) *types.Func {
+		fn, ok := scope.Lookup(name).(*types.Func)
+		if !ok {
+			t.Fatalf("fixture has no function %q", name)
+		}
+		return fn
+	}
+}
+
+// TestIPACallGraph pins the static edges: direct calls and calls inside
+// function literals are edges of the enclosing declaration; calls through
+// function values are not.
+func TestIPACallGraph(t *testing.T) {
+	ipa, fn := loadIPAFixture(t)
+	callees := func(name string) map[string]int {
+		n := ipa.Node(fn(name))
+		if n == nil {
+			t.Fatalf("no node for %q", name)
+		}
+		out := make(map[string]int)
+		for _, c := range n.Calls {
+			out[c.Callee.Name()]++
+		}
+		return out
+	}
+	if got := callees("top"); got["mid"] != 1 || got["leaf"] != 1 {
+		t.Errorf("top's callees = %v, want mid and leaf once each", got)
+	}
+	if got := callees("clo"); got["leaf"] != 1 {
+		t.Errorf("clo's callees = %v, want the closure's leaf call attributed to clo", got)
+	}
+	if got := callees("indirect"); len(got) != 0 {
+		t.Errorf("indirect's callees = %v, want none (calls through function values are not edges)", got)
+	}
+}
+
+// TestIPASCCOrder pins the bottom-up guarantee: every callee outside a
+// node's own component has a strictly smaller component index, and mutually
+// recursive functions share one component.
+func TestIPASCCOrder(t *testing.T) {
+	ipa, fn := loadIPAFixture(t)
+	idx := func(name string) int {
+		n := ipa.Node(fn(name))
+		for i, scc := range ipa.SCCs() {
+			for _, m := range scc {
+				if m == n {
+					return i
+				}
+			}
+		}
+		t.Fatalf("%q is in no component", name)
+		return -1
+	}
+	if l, m, top := idx("leaf"), idx("mid"), idx("top"); !(l < m && m < top) {
+		t.Errorf("component order leaf=%d mid=%d top=%d, want strictly increasing", l, m, top)
+	}
+	if p, q := idx("ping"), idx("pong"); p != q {
+		t.Errorf("ping and pong are in components %d and %d, want the same", p, q)
+	}
+	for i, scc := range ipa.SCCs() {
+		for _, n := range scc {
+			for _, c := range n.Calls {
+				callee := ipa.Node(c.Callee)
+				if callee == nil {
+					continue
+				}
+				if j := idx(callee.Obj.Name()); j > i {
+					t.Errorf("%s (component %d) calls %s (component %d): not bottom-up", n.Obj.Name(), i, callee.Obj.Name(), j)
+				}
+			}
+		}
+	}
+}
+
+// TestIPAAllowedConsumed pins the directive lookup summary builders use: a
+// reasoned allow matches the directive's own line and the line below, and a
+// hit is recorded as consumed so hygiene can treat the directive as used.
+func TestIPAAllowedConsumed(t *testing.T) {
+	ipa, fn := loadIPAFixture(t)
+	decl := ipa.Node(fn("allowHost")).Decl
+	pos := ipa.Packages()[0].Fset.Position(decl.Pos())
+	if ipa.Consumed("fake", pos.Filename, pos.Line-1) {
+		t.Fatal("directive marked consumed before any lookup")
+	}
+	if !ipa.Allowed("fake", pos) {
+		t.Error("Allowed = false for a position directly below the directive")
+	}
+	if !ipa.Consumed("fake", pos.Filename, pos.Line-1) {
+		t.Error("a successful Allowed lookup must mark the directive consumed")
+	}
+	if ipa.Allowed("othername", pos) {
+		t.Error("Allowed = true for an analyzer the directive does not name")
+	}
+}

@@ -106,78 +106,185 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	// Every non-stdlib package in the dependency closure is type-checked from
+	// source, not export data: the interprocedural layer keys its call graph
+	// on *types.Func identity, and only a shared type-checked view gives a
+	// caller in one package and the declaration in another the same object.
+	// (Mixing views also breaks type-checking outright: a dep-only package
+	// loaded from export data would mention target types from a second,
+	// incompatible universe.) `go list -deps` emits dependencies before
+	// dependents, so by the time a package is checked every non-stdlib
+	// package it imports is already in local. Dep-only packages are checked
+	// for identity's sake but not returned for analysis.
+	local := make(map[string]*types.Package)
+	imp := corpusImporter{
+		local: local,
+		base:  importer.ForCompiler(fset, "gc", exportLookup(listed)),
+	}
 	var pkgs []*Package
 	for _, lp := range listed {
-		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+		if lp.Standard || len(lp.GoFiles) == 0 {
 			continue
 		}
 		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		local[lp.ImportPath] = pkg.Types
+		if !lp.DepOnly {
+			pkgs = append(pkgs, pkg)
+		}
 	}
 	return pkgs, nil
 }
 
 // LoadDir parses and type-checks the one package held in dir (non-test files
-// only) — the analysistest loader for seeded-violation corpora. dir must lie
-// inside a Go module so the go tool can supply export data for the corpus's
-// (standard-library) imports.
+// only) — the single-package analysistest loader. Helper subdirectories, if
+// any, are loaded too but not returned; use LoadCorpus when the test needs
+// them.
 func LoadDir(dir string) (*Package, error) {
+	pkgs, err := LoadCorpus(dir)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// corpusImporter resolves a corpus helper package by its directory name and
+// defers everything else (the standard library) to export data.
+type corpusImporter struct {
+	local map[string]*types.Package
+	base  types.Importer
+}
+
+func (ci corpusImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.local[path]; ok {
+		return p, nil
+	}
+	return ci.base.Import(path)
+}
+
+// LoadCorpus parses and type-checks a seeded-violation corpus rooted at dir:
+// the package held in dir itself (returned first) plus one helper package
+// per immediate subdirectory containing Go files. A helper is imported by
+// its bare directory name (`import "helper"`) — a path the go tool would
+// never resolve, which is deliberate: corpora live under testdata and are
+// only ever built here, and the fake path keeps them from colliding with
+// real modules. Helpers may import the standard library but not each other.
+// Multi-package corpora are what let the interprocedural analyzers' tests
+// express cross-package facts (a taint source hidden behind a foreign
+// helper) that a single-package corpus cannot. dir must lie inside a Go
+// module so the go tool can supply export data for the corpus's
+// (standard-library) imports.
+func LoadCorpus(dir string) ([]*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
+	var mainNames, subdirs []string
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && filepath.Ext(name) == ".go" && !isTestFile(name) {
-			names = append(names, name)
+		switch {
+		case e.IsDir():
+			subdirs = append(subdirs, name)
+		case filepath.Ext(name) == ".go" && !isTestFile(name):
+			mainNames = append(mainNames, name)
 		}
 	}
-	if len(names) == 0 {
+	if len(mainNames) == 0 {
 		return nil, fmt.Errorf("pepvet: no Go files in %s", dir)
 	}
 
-	// Parse first to learn the import set, then let the go tool compile
-	// export data for exactly those dependencies.
+	// Parse everything first to learn the import set, then let the go tool
+	// compile export data for exactly those dependencies.
 	fset := token.NewFileSet()
-	files, err := parseFiles(fset, dir, names)
+	mainFiles, err := parseFiles(fset, dir, mainNames)
 	if err != nil {
 		return nil, err
 	}
+	type subPkg struct {
+		name  string
+		dir   string
+		files []*ast.File
+	}
+	var subs []subPkg
+	for _, sd := range subdirs {
+		subDir := filepath.Join(dir, sd)
+		subEntries, err := os.ReadDir(subDir)
+		if err != nil {
+			return nil, err
+		}
+		var names []string
+		for _, e := range subEntries {
+			if name := e.Name(); !e.IsDir() && filepath.Ext(name) == ".go" && !isTestFile(name) {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, subDir, names)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, subPkg{name: sd, dir: subDir, files: files})
+	}
+
+	local := make(map[string]*types.Package, len(subs))
 	importSet := make(map[string]bool)
-	for _, f := range files {
-		for _, spec := range f.Imports {
-			if p, err := strconv.Unquote(spec.Path.Value); err == nil && p != "unsafe" {
-				importSet[p] = true
+	collect := func(files []*ast.File) {
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				p, err := strconv.Unquote(spec.Path.Value)
+				if err != nil || p == "unsafe" {
+					continue
+				}
+				if _, isLocal := local[p]; !isLocal {
+					importSet[p] = true
+				}
 			}
 		}
 	}
+	for _, s := range subs {
+		local[s.name] = nil // reserve: main's imports of helpers are local
+	}
+	collect(mainFiles)
+	for _, s := range subs {
+		collect(s.files)
+	}
+	delete(importSet, "")
 	var listed []*listedPackage
 	if len(importSet) > 0 {
 		args := make([]string, 0, len(importSet))
 		for p := range importSet {
-			args = append(args, p)
+			if _, isLocal := local[p]; !isLocal {
+				args = append(args, p)
+			}
 		}
 		if listed, err = goList(dir, args); err != nil {
 			return nil, err
 		}
 	}
-	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
-	name := files[0].Name.Name
-	info := newInfo()
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(name, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("pepvet: type-checking %s: %v", dir, err)
+	imp := corpusImporter{
+		local: local,
+		base:  importer.ForCompiler(fset, "gc", exportLookup(listed)),
 	}
-	return &Package{
-		Path: name, Name: name, Dir: dir,
-		Fset: fset, Files: files, Types: tpkg, Info: info,
-	}, nil
+
+	var pkgs []*Package
+	for _, s := range subs {
+		pkg, err := checkFiles(fset, imp, s.name, s.dir, s.files)
+		if err != nil {
+			return nil, err
+		}
+		local[s.name] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	name := mainFiles[0].Name.Name
+	mainPkg, err := checkFiles(fset, imp, name, dir, mainFiles)
+	if err != nil {
+		return nil, err
+	}
+	return append([]*Package{mainPkg}, pkgs...), nil
 }
 
 // checkPackage parses and type-checks one listed package.
@@ -186,6 +293,11 @@ func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goF
 	if err != nil {
 		return nil, err
 	}
+	return checkFiles(fset, imp, path, dir, files)
+}
+
+// checkFiles type-checks already-parsed files as one package.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, dir string, files []*ast.File) (*Package, error) {
 	info := newInfo()
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(path, fset, files, info)

@@ -1,0 +1,33 @@
+// Package ipa is the call-graph fixture for the interprocedural-layer unit
+// tests: a three-deep static chain, a mutually recursive pair, a closure,
+// and an indirect call that must not produce an edge.
+package ipa
+
+func leaf() int { return 1 }
+
+func mid() int { return leaf() }
+
+func top() int { return mid() + leaf() }
+
+// ping and pong are mutually recursive: one two-member component.
+func ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int { return ping(n - 1) }
+
+// clo calls leaf from inside a function literal: the call site belongs to
+// clo's node, so a closure cannot hide a callee from its parent's summary.
+func clo() func() int {
+	f := func() int { return leaf() }
+	return f
+}
+
+// indirect calls through a function value: not a static edge.
+func indirect(f func() int) int { return f() }
+
+//pepvet:allow fake justified for the directive-lookup test
+func allowHost() int { return leaf() }

@@ -134,6 +134,7 @@ func (p *progressLog) reset() {
 // already closed. abort unblocks waiters on machine failure; onAbort must
 // not return.
 func (p *progressLog) serviceTime(a float64, abort <-chan struct{}, onAbort func()) float64 {
+	//pepvet:allow blockreg the progress log wakes its own waiters: every interval append and finish() broadcasts p.wake, and a crashed target resolves via finish, so the doomed-rank fixpoint never needs to see this waiter
 	for {
 		p.mu.Lock()
 		if svc, ok := p.decideLocked(a); ok {

@@ -207,6 +207,7 @@ func (bq *BatchQuery) Peaks() (bins []int32, intens []float64) {
 			for bin := range q.Binned.Bins {
 				bq.peakBins = append(bq.peakBins, bin)
 			}
+			//pepvet:allow allocflow once-per-query lazy build: the cached peak lists amortize across every candidate scored against the query
 			sort.Slice(bq.peakBins, func(i, j int) bool { return bq.peakBins[i] < bq.peakBins[j] })
 			for _, bin := range bq.peakBins {
 				bq.peakInt = append(bq.peakInt, q.Binned.Bins[bin])

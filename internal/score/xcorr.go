@@ -57,6 +57,7 @@ type xcorr struct {
 // buildXCorr computes the corrected array once per query (thread-safe;
 // queries are shared across scan iterations).
 func (q *Query) buildXCorr() {
+	//pepvet:allow allocflow once-per-query lazy build: the sync.Once capture and dense buffers amortize across every candidate scored against the query, off the per-candidate path
 	q.xc.once.Do(func() {
 		b := q.Binned
 		if b.MaxBin < b.MinBin {

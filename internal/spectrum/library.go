@@ -71,6 +71,7 @@ func (l *Library) Peptides() []string {
 	defer l.mu.Unlock()
 	if l.ordered == nil {
 		l.ordered = make([]string, 0, len(l.byPep))
+		//pepvet:allow determinism keys are collected then sorted; no order escapes
 		for k := range l.byPep {
 			l.ordered = append(l.ordered, k)
 		}

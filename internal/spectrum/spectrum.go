@@ -133,6 +133,7 @@ func topPerWindow(peaks []Peak, top int, width float64) []Peak {
 		byWindow[w] = append(byWindow[w], p)
 	}
 	var out []Peak
+	//pepvet:allow determinism windows are truncated independently and the result is fully re-sorted; group order cannot escape
 	for _, ps := range byWindow {
 		sort.Slice(ps, func(i, j int) bool {
 			if ps[i].Intensity != ps[j].Intensity {
@@ -188,6 +189,7 @@ func Bin(s *Spectrum, width float64) *Binned {
 // Normalize scales bin intensities so the largest equals 1.
 func (b *Binned) Normalize() {
 	var max float64
+	//pepvet:allow determinism maximum over map values is an order-independent reduction
 	for _, v := range b.Bins {
 		if v > max {
 			max = v
@@ -196,6 +198,7 @@ func (b *Binned) Normalize() {
 	if max <= 0 {
 		return
 	}
+	//pepvet:allow determinism scatter: each key rewrites its own slot, so iteration order cannot escape
 	for k, v := range b.Bins {
 		b.Bins[k] = v / max
 	}
