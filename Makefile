@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-pepvet lint-extra test test-short bench bench-json bench-smoke scale-smoke race chaos fuzz-short cover examples experiments quick-experiments clean
+.PHONY: all check build vet lint lint-pepvet lint-extra test test-short bench bench-json bench-smoke scale-smoke race chaos chaos-elastic fuzz-short cover examples experiments quick-experiments clean
 
 all: build vet test
 
@@ -58,6 +58,16 @@ chaos:
 		./internal/cluster/ ./internal/core/
 	$(GO) test -race -count=1 ./internal/ckpt/
 
+# chaos-elastic sweeps the elastic-membership schedules under the race
+# detector: every join/leave timeline (including the 1024-rank-universe
+# join->crash->rejoin cycles), admission/departure/release flow, group
+# sub-communicators, and jittered RMA retries must converge on hits
+# bit-identical to the static run with byte-identical double-run traces.
+chaos-elastic:
+	$(GO) test -race -count=1 -run 'Elastic|Membership|Admission|Admit|Group|RetryJitter' \
+		./internal/cluster/ ./internal/core/
+	$(GO) test -race -count=1 ./internal/placement/
+
 # fuzz-short gives every fuzz target a fixed, CI-sized budget: the codec
 # decoders (checkpoint, result/batch wire, trace JSON reader) must never
 # panic and must only accept canonical blobs. The minimize budget is capped
@@ -68,6 +78,7 @@ fuzz-short:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzReadChrome -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeResults -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeBatch -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
+	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzDecodeMembershipPlan -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
 
 # cover enforces the checked-in statement-coverage floor
 # (.coverage-threshold) over the simulation and observability packages.

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	paperbench [-exp all|table1|table2|fig4|table3|table4|fig1a|fig1b|
-//	            masking|residual|validate|subgroup|space|candidate|trace[,...]]
+//	            masking|residual|validate|subgroup|space|candidate|trace|
+//	            volume|elastic[,...]]
 //	           [-scale quick|default|full] [-queries N] [-csv]
 //	           [-trace run.json]
 //

@@ -105,7 +105,7 @@ func TestRepoAnnotationsPresent(t *testing.T) {
 	root := moduleRoot(t)
 	pkgs, err := analysis.Load(root,
 		"./internal/core", "./internal/score", "./internal/topk", "./internal/cluster",
-		"./internal/fragidx")
+		"./internal/fragidx", "./internal/placement")
 	if err != nil {
 		t.Fatalf("loading annotated packages: %v", err)
 	}
@@ -120,6 +120,7 @@ func TestRepoAnnotationsPresent(t *testing.T) {
 		"pepscale/internal/core.scanState",
 		"pepscale/internal/cluster.Rank",
 		"pepscale/internal/fragidx.Scratch",
+		"pepscale/internal/placement.Scratch",
 	} {
 		if !marked[want] {
 			t.Errorf("type %s has lost its //pepvet:perrank marker", want)

@@ -49,6 +49,7 @@ var Packages = []string{
 	"internal/core",
 	"internal/digest",
 	"internal/fragidx",
+	"internal/placement",
 	"internal/score",
 	"internal/spectrum",
 	"internal/synth",

@@ -57,6 +57,7 @@ func TestAppliesTo(t *testing.T) {
 		"pepscale/internal/cluster",
 		"pepscale/internal/core",
 		"pepscale/internal/digest",
+		"pepscale/internal/placement",
 		"pepscale/internal/score",
 		"pepscale/internal/spectrum",
 		"pepscale/internal/synth",

@@ -1,0 +1,54 @@
+// membership.go plants the membership-ordering bug class the elastic
+// placement layer must never contain: deriving an admission or ownership
+// order by ranging over a member *set*. Every rank of the virtual machine
+// recomputes placement locally, so any map-order-dependent member list
+// diverges between ranks and breaks the bit-identity contract. The
+// sanctioned pattern — collect, sort, then let the order escape — is what
+// placement.sortedMembers does, and must stay silent.
+package a
+
+import "sort"
+
+func memberList(active map[int]bool) []int {
+	var members []int
+	for rank := range active { // want "range over map"
+		members = append(members, rank)
+	}
+	return members
+}
+
+func firstJoiner(joiners map[int][]byte) []byte {
+	for _, payload := range joiners { // want "range over map"
+		return payload
+	}
+	return nil
+}
+
+func ownerLoads(owner map[int]int) map[int]int {
+	loads := map[int]int{}
+	for _, member := range owner { // want "range over map"
+		loads[member]++
+	}
+	return loads
+}
+
+// The sanctioned replacement: collected then sorted before any order
+// escapes, exactly the placement package's membership discipline.
+func sortedMemberList(active map[int]bool) []int {
+	members := make([]int, 0, len(active))
+	//pepvet:allow determinism members are sorted before any order escapes
+	for rank := range active {
+		members = append(members, rank)
+	}
+	sort.Ints(members)
+	return members
+}
+
+// Counting members observes no order: no finding.
+func memberCount(active map[int]bool) int {
+	n := 0
+	for range active {
+		n++
+	}
+	return n
+}

@@ -39,6 +39,12 @@ type Config struct {
 	// fixed at Send; a sender parked on a full mailbox charges nothing),
 	// so the default only bounds host memory, never the virtual clock.
 	MailboxDepth int
+	// Members optionally names the initially active subset of the rank
+	// universe (ascending global ids; nil means all ranks are active).
+	// Dormant ranks park in AwaitAdmission until an active rank Admits or
+	// Releases them — the substrate of the elastic engines, whose machines
+	// span every rank that could ever join (see membership.go).
+	Members []int
 	// Fault is an optional deterministic fault schedule (nil: failure-free).
 	Fault *FaultPlan
 	// Trace enables per-rank event tracing on the virtual clock (see
@@ -62,6 +68,21 @@ type Machine struct {
 
 	coll  *phaser
 	world *commShared
+
+	// Membership state behind memberMu: which ranks of the universe are
+	// currently active. Sized to the universe at construction and only ever
+	// flipped through markActive's bounds checks, so admission can never
+	// index past the per-rank arrays.
+	memberMu sync.Mutex
+	active   []bool
+
+	// groups memoizes sub-communicators built by Rank.Group, keyed by the
+	// sorted member list so every member of one epoch shares a single
+	// rendezvous. Reset clears it: a crashed run may leave a group phaser
+	// round with permanently missing arrivals, exactly like the world
+	// phaser.
+	groupMu sync.Mutex
+	groups  map[string]*commShared
 
 	fault *faultState
 
@@ -208,11 +229,28 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{
 		cfg:             cfg,
 		windows:         make(map[windowKey]*window),
+		groups:          make(map[string]*commShared),
 		abort:           make(chan struct{}),
 		failures:        make(map[int]error),
 		firstFailedRank: -1,
 		bodyDone:        make([]bool, cfg.Ranks),
 		notifyCh:        make(chan struct{}),
+	}
+	m.active = make([]bool, cfg.Ranks)
+	if cfg.Members == nil {
+		for i := range m.active {
+			m.active[i] = true
+		}
+	} else {
+		for _, id := range cfg.Members {
+			if id < 0 || id >= cfg.Ranks {
+				return nil, fmt.Errorf("cluster: Config.Members rank %d outside [0,%d)", id, cfg.Ranks)
+			}
+			if m.active[id] {
+				return nil, fmt.Errorf("cluster: Config.Members rank %d duplicated", id)
+			}
+			m.active[id] = true
+		}
 	}
 	m.fault = newFaultState(cfg.Fault, cfg.Ranks)
 	worldRanks := make([]int, cfg.Ranks)
@@ -755,6 +793,21 @@ func (m *Machine) Reset() {
 	}
 	m.coll = newPhaser(worldRanks, worldPhaserID)
 	m.world = &commShared{ranks: worldRanks, ph: m.coll, lv: m.cfg.Cost.levelsFor(worldRanks)}
+	m.groupMu.Lock()
+	m.groups = make(map[string]*commShared)
+	m.groupMu.Unlock()
+	// Membership reverts to the configured initial set, so a Reset machine
+	// replays an elastic schedule from its starting roster.
+	m.memberMu.Lock()
+	for i := range m.active {
+		m.active[i] = m.cfg.Members == nil
+	}
+	if m.cfg.Members != nil {
+		for _, id := range m.cfg.Members {
+			m.active[id] = true
+		}
+	}
+	m.memberMu.Unlock()
 	m.abortOnce = sync.Once{}
 	m.abort = make(chan struct{})
 	m.errOnce = sync.Once{}
@@ -1238,7 +1291,8 @@ func (r *Rank) waitWindow(owner int, key windowKey) (*window, error) {
 // clock becomes max(clock, completion). If the window is not exposed yet,
 // Wait blocks until the owner exposes it (or fails, or finishes without
 // exposing). Injected transfer drops are retried with exponential backoff
-// charged on the virtual clock; exhausting the budget fails this rank.
+// (plus bounded deterministic jitter when the plan configures it) charged
+// on the virtual clock; exhausting the budget fails this rank.
 func (p *Pending) Wait() ([]byte, error) {
 	if p.done {
 		return nil, errors.New("cluster: Wait called twice on the same Pending")
@@ -1293,7 +1347,7 @@ func (p *Pending) Wait() ([]byte, error) {
 			r.m.failRank(r.id, ErrRankFailed{Rank: r.id, Cause: terr}, r.clock)
 			return nil, terr
 		}
-		backoff := r.m.fault.plan.retryBackoffSec(cost) * float64(int64(1)<<uint(attempts-1))
+		backoff := r.m.fault.plan.retryBackoffSec(cost) * float64(int64(1)<<uint(attempts-1)) * r.retryJitter()
 		retryExtra += xfer + backoff
 		attempts++
 	}

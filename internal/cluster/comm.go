@@ -122,6 +122,68 @@ func (c *Comm) AllreduceInt64(op ReduceOp, v int64) int64 {
 	return res.(int64)
 }
 
+// AllreduceFloat64 combines one float64 per member under op — the epoch
+// clock agreement of the elastic engine (OpMax over member virtual times).
+func (c *Comm) AllreduceFloat64(op ReduceOp, v float64) float64 {
+	res, maxClock := c.shared.ph.arrive(c.r, c.myIdx, v, func(inputs []interface{}) interface{} {
+		acc := inputs[0].(float64)
+		for _, in := range inputs[1:] {
+			acc = reduceFloat64(op, acc, in.(float64))
+		}
+		return acc
+	})
+	c.r.syncTo("allreduce-float64", maxClock, c.collSec(8))
+	return res.(float64)
+}
+
+// Bcast distributes the payload of the member at group index root to every
+// member (root receives its own data back unchanged).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	res, maxClock := c.shared.ph.arrive(c.r, c.myIdx, data, func(inputs []interface{}) interface{} {
+		d, _ := inputs[root].([]byte)
+		return d
+	})
+	out, _ := res.([]byte)
+	c.r.syncTo("bcast", maxClock, c.collSec(len(out)))
+	if c.myIdx != root {
+		cp := make([]byte, len(out))
+		copy(cp, out)
+		c.r.Stats.BytesReceived += int64(len(out))
+		c.r.traceCollBytes(0, int64(len(out)))
+		return cp
+	}
+	c.r.Stats.BytesSent += int64(len(out))
+	c.r.traceCollBytes(int64(len(out)), 0)
+	return out
+}
+
+// Gather collects one payload per member at the member with group index
+// root, which receives the group-ordered slice; other members receive nil.
+func (c *Comm) Gather(root int, payload []byte) [][]byte {
+	res, maxClock := c.shared.ph.arrive(c.r, c.myIdx, payload, func(inputs []interface{}) interface{} {
+		out := make([][]byte, len(inputs))
+		var total int
+		for i, in := range inputs {
+			b, _ := in.([]byte)
+			out[i] = b
+			total += len(b)
+		}
+		return gathered{bufs: out, total: total}
+	})
+	g := res.(gathered)
+	cost := c.r.Cost()
+	if c.myIdx == root {
+		c.r.syncTo("gather", maxClock, cost.gatherRootSecLevels(g.total, c.shared.lv))
+		c.r.Stats.BytesReceived += int64(g.total)
+		c.r.traceCollBytes(0, int64(g.total))
+		return g.bufs
+	}
+	c.r.syncTo("gather", maxClock, cost.PathXferSec(len(payload), c.r.id, c.shared.ranks[root], c.r.Size()))
+	c.r.Stats.BytesSent += int64(len(payload))
+	c.r.traceCollBytes(int64(len(payload)), 0)
+	return nil
+}
+
 // Allgather collects one payload per member; every member receives the
 // group-ordered slice (private copies).
 func (c *Comm) Allgather(payload []byte) [][]byte {
@@ -147,6 +209,26 @@ func (c *Comm) Allgather(payload []byte) [][]byte {
 	c.r.Stats.BytesReceived += int64(g.total)
 	c.r.traceCollBytes(int64(len(payload)), int64(g.total))
 	return out
+}
+
+// reduceFloat64 applies op to a pair.
+func reduceFloat64(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		return a
+	}
 }
 
 // reduceInt64 applies op to a pair.

@@ -76,6 +76,14 @@ type FaultPlan struct {
 	// RetryBackoffSec is the base backoff charged before the k-th reissue
 	// (doubling per attempt). 0 defaults to 4× the model latency.
 	RetryBackoffSec float64
+	// RetryJitterFrac adds bounded deterministic jitter to each retry
+	// backoff: the charged backoff is scaled by (1 + u·RetryJitterFrac)
+	// with u drawn uniformly from [0,1) out of the issuing rank's seeded
+	// stream, de-synchronizing retry storms the way production exponential
+	// backoff does. Must lie in [0,1]; 0 (the default) disables the draw
+	// entirely, so existing plans keep their exact PRNG streams and charged
+	// times.
+	RetryJitterFrac float64
 }
 
 // Validate reports configuration errors for a machine with p ranks.
@@ -108,6 +116,9 @@ func (fp *FaultPlan) Validate(p int) error {
 		if pr < 0 || pr > 1 {
 			return fmt.Errorf("cluster: FaultPlan probability %v outside [0,1]", pr)
 		}
+	}
+	if fp.RetryJitterFrac < 0 || fp.RetryJitterFrac > 1 {
+		return fmt.Errorf("cluster: FaultPlan.RetryJitterFrac %v outside [0,1]", fp.RetryJitterFrac)
 	}
 	//pepvet:allow determinism order-independent reduction: every invalid entry yields the same fixed error, so iteration order cannot escape
 	for _, lf := range fp.Links {
@@ -226,6 +237,18 @@ func (r *Rank) injectSendDelay(to int) float64 {
 		return 0
 	}
 	return lf.DelaySec
+}
+
+// retryJitter draws the multiplicative jitter factor for one retry backoff.
+// The draw consumes the issuing rank's PRNG stream only when jitter is
+// configured, so plans without it keep their historical streams and charged
+// virtual times bit-for-bit.
+func (r *Rank) retryJitter() float64 {
+	f := r.m.fault
+	if f == nil || f.plan.RetryJitterFrac <= 0 {
+		return 1
+	}
+	return 1 + f.plan.RetryJitterFrac*f.ranks[r.id].rng.Float64()
 }
 
 // dropTransfer draws whether one attempt of a one-sided transfer from owner

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// jitterReplay recomputes the exact virtual time a rank is charged for a
+// dropped-and-retried one-sided transfer by replaying the issuing rank's
+// seeded PRNG stream with the documented draw interleaving: one drop draw
+// per attempt, then (only when jitter is configured) one jitter draw per
+// retry. xfer is 0 under the zero cost model, so the charged wait is the
+// backoff sum alone.
+func jitterReplay(plan *FaultPlan, rank int, dropProb float64) (wait float64, retries int) {
+	rng := rand.New(rand.NewSource(plan.Seed*1000003 + int64(rank)*2654435761 + 1))
+	attempts := 1
+	for rng.Float64() < dropProb {
+		retries++
+		jit := 1.0
+		if plan.RetryJitterFrac > 0 {
+			jit = 1 + plan.RetryJitterFrac*rng.Float64()
+		}
+		wait += plan.RetryBackoffSec * float64(int64(1)<<uint(attempts-1)) * jit
+		attempts++
+	}
+	return wait, retries
+}
+
+// runDroppyGet runs a two-rank machine where rank 1 Gets a window from rank
+// 0 across a link that drops with the given probability, returning rank 1's
+// clock and retry count after the Wait.
+func runDroppyGet(t *testing.T, plan *FaultPlan) (clock float64, retries int64) {
+	t.Helper()
+	m, err := New(Config{Ranks: 2, Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Expose("w", []byte("payload"))
+			return nil
+		}
+		if _, err := r.Get(0, "w").Wait(); err != nil {
+			return err
+		}
+		clock = r.Time()
+		retries = r.Stats.RMARetries
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return clock, retries
+}
+
+// TestRetryJitterPinsChargedTime: the virtual time charged for jittered
+// retry backoff is an exact, replayable function of the fault plan's seed —
+// same stream interleaving (drop draw, then jitter draw), doubling base,
+// factor bounded by 1+RetryJitterFrac.
+func TestRetryJitterPinsChargedTime(t *testing.T) {
+	const dropProb = 0.6
+	plan := &FaultPlan{
+		Seed:            11,
+		Links:           map[Link]LinkFault{{From: 0, To: 1}: {DropProb: dropProb}},
+		MaxRetries:      30,
+		RetryBackoffSec: 1,
+		RetryJitterFrac: 0.5,
+	}
+	wantWait, wantRetries := jitterReplay(plan, 1, dropProb)
+	if wantRetries == 0 {
+		t.Fatal("seed produces no drops; the test would be vacuous — pick another seed")
+	}
+	clock, retries := runDroppyGet(t, plan)
+	if retries != int64(wantRetries) {
+		t.Fatalf("retries = %d, want %d", retries, wantRetries)
+	}
+	if clock != wantWait {
+		t.Fatalf("charged clock = %v, want exactly %v", clock, wantWait)
+	}
+	// Bounded: the jittered total can never exceed (1+frac)× the pure
+	// exponential sum, nor undercut it.
+	pure := 0.0
+	for k := 0; k < wantRetries; k++ {
+		pure += float64(int64(1) << uint(k))
+	}
+	if clock < pure || clock > pure*(1+plan.RetryJitterFrac) {
+		t.Fatalf("charged clock %v outside [%v, %v]", clock, pure, pure*(1+plan.RetryJitterFrac))
+	}
+	// Deterministic: a second identical run charges the identical sequence.
+	clock2, retries2 := runDroppyGet(t, plan)
+	if clock2 != clock || retries2 != retries {
+		t.Fatalf("second run diverged: clock %v vs %v, retries %d vs %d", clock2, clock, retries2, retries)
+	}
+}
+
+// TestRetryJitterZeroKeepsHistoricalStream: RetryJitterFrac=0 must not
+// consume PRNG draws, so the drop pattern and charged times match the
+// pre-jitter implementation exactly (pure exponential backoff).
+func TestRetryJitterZeroKeepsHistoricalStream(t *testing.T) {
+	const dropProb = 0.6
+	plan := &FaultPlan{
+		Seed:            11,
+		Links:           map[Link]LinkFault{{From: 0, To: 1}: {DropProb: dropProb}},
+		MaxRetries:      30,
+		RetryBackoffSec: 1,
+	}
+	wantWait, wantRetries := jitterReplay(plan, 1, dropProb)
+	if wantRetries == 0 {
+		t.Fatal("seed produces no drops; the test would be vacuous — pick another seed")
+	}
+	// With no jitter draws the replay's backoff sum is exactly the pure
+	// exponential series over the consecutive-drop prefix of the stream.
+	pure := 0.0
+	for k := 0; k < wantRetries; k++ {
+		pure += float64(int64(1) << uint(k))
+	}
+	if wantWait != pure {
+		t.Fatalf("replay inconsistency: %v vs pure %v", wantWait, pure)
+	}
+	clock, retries := runDroppyGet(t, plan)
+	if retries != int64(wantRetries) || clock != wantWait {
+		t.Fatalf("clock=%v retries=%d, want clock=%v retries=%d", clock, retries, wantWait, wantRetries)
+	}
+}

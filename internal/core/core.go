@@ -159,6 +159,10 @@ type RankMetrics struct {
 	Candidates       int64
 	Queries          int
 	Messages         int64
+	// MigrationBytes is the subset of RMABytesReceived this rank fetched
+	// while acquiring migrated database blocks at elastic membership
+	// boundaries (zero for non-elastic engines).
+	MigrationBytes int64
 }
 
 // Metrics aggregates a run.

@@ -31,6 +31,7 @@ import (
 	"pepscale/internal/ckpt"
 	"pepscale/internal/cluster"
 	"pepscale/internal/fasta"
+	"pepscale/internal/placement"
 	"pepscale/internal/score"
 	"pepscale/internal/topk"
 	"pepscale/internal/trace"
@@ -165,21 +166,34 @@ type rgroup struct {
 
 // resilientBody is one attempt's rank program; p0 is the stable logical
 // partition width (the initial rank count).
+//
+// Ownership comes from the placement layer's RoundRobin plan over the
+// attempt's ranks 0..p−1, which reproduces the historical modular partition
+// (block b and group g on rank b mod p) assignment-for-assignment — the
+// refactor changes no owner, no virtual time, and no trace byte.
 func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions, p0 int, store *ckpt.Store, sh *shared) error {
 	p, id := r.Size(), r.ID()
 	cost := r.Cost()
 	t0 := r.Time()
 	r.SetPhase("load")
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	plan, err := placement.RoundRobin(p0, p0, members)
+	if err != nil {
+		return err
+	}
 
-	// Load and expose the owned blocks of the stable p0-way partition
-	// (round-robin: block b lives on rank b mod p).
+	// Load and expose the owned blocks of the stable p0-way partition.
 	type ownedBlock struct {
 		raw  []byte
 		recs []fasta.Record
 	}
 	ranges := fasta.Ranges(in.DBData, p0)
-	var owned []ownedBlock
-	for b := id; b < p0; b += p {
+	myBlocks := plan.BlocksOf(id)
+	owned := make(map[int]*ownedBlock, len(myBlocks))
+	for _, b := range myBlocks {
 		rg := ranges[b]
 		raw := in.DBData[rg.Start:rg.End]
 		r.Compute(cost.IOSec(len(raw)))
@@ -188,22 +202,22 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 		if err != nil {
 			return fmt.Errorf("rank %d: load block %d: %w", id, b, err)
 		}
-		owned = append(owned, ownedBlock{raw: raw, recs: recs})
+		owned[b] = &ownedBlock{raw: raw, recs: recs}
 		r.Expose(dbBlockWindow(b), raw)
 	}
 
 	// Agree on global protein-index bases: each rank contributes its owned
 	// blocks' record counts (ascending block order).
-	payload := make([]byte, 8*len(owned))
-	for i := range owned {
-		binary.LittleEndian.PutUint64(payload[8*i:], uint64(len(owned[i].recs)))
+	payload := make([]byte, 8*len(myBlocks))
+	for i, b := range myBlocks {
+		binary.LittleEndian.PutUint64(payload[8*i:], uint64(len(owned[b].recs)))
 	}
 	counts := r.Allgather(payload)
 	bases := make([]int32, p0)
 	nrecs := make([]int32, p0)
 	for j := 0; j < p; j++ {
 		buf := counts[j]
-		for k, b := 0, j; b < p0; k, b = k+1, b+p {
+		for k, b := range plan.BlocksOf(j) {
 			nrecs[b] = int32(binary.LittleEndian.Uint64(buf[8*k:]))
 		}
 	}
@@ -218,10 +232,10 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 		return err
 	}
 
-	// Build the owned query groups (group g on rank g mod p), restoring
-	// each from its latest checkpoint if one exists.
+	// Build the owned query groups, restoring each from its latest
+	// checkpoint if one exists.
 	var groups []*rgroup
-	for g := id; g < p0; g += p {
+	for _, g := range plan.GroupsOf(id) {
 		qlo, qhi := share(len(in.Queries), p0, g)
 		specs := in.Queries[qlo:qhi]
 		var qbytes int
@@ -279,12 +293,12 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 			var recs []fasta.Record
 			var key cacheKey
 			var alloc int64
-			if b%p == id {
-				ob := &owned[(b-id)/p]
+			if plan.BlockRank(b) == id {
+				ob := owned[b]
 				recs, key = ob.recs, blockKey(b, len(ob.raw))
 			} else {
 				if pending == nil || pendingBlock != b {
-					pending = r.Get(b%p, dbBlockWindow(b))
+					pending = r.Get(plan.BlockRank(b), dbBlockWindow(b))
 				}
 				data, err := pending.Wait()
 				pending, pendingBlock = nil, -1
@@ -302,8 +316,8 @@ func resilientBody(r *cluster.Rank, in Input, opt Options, ropt ResilientOptions
 			// Prefetch the next step's block while this one is scanned.
 			if opt.Masking && s+1 < p0 {
 				nb := (gr.g + s + 1) % p0
-				if nb%p != id {
-					pending = r.Get(nb%p, dbBlockWindow(nb))
+				if owner := plan.BlockRank(nb); owner != id {
+					pending = r.Get(owner, dbBlockWindow(nb))
 					pendingBlock = nb
 				}
 			}

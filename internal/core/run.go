@@ -80,8 +80,11 @@ type shared struct {
 	sortSec    []float64
 	candidates []int64
 	queries    []int
-	merged     []QueryResult
-	cache      *indexCache
+	// migBytes counts block-migration bytes fetched by each rank (elastic
+	// engine only; zero elsewhere).
+	migBytes []int64
+	merged   []QueryResult
+	cache    *indexCache
 }
 
 func newShared(p int) *shared {
@@ -90,6 +93,7 @@ func newShared(p int) *shared {
 		sortSec:    make([]float64, p),
 		candidates: make([]int64, p),
 		queries:    make([]int, p),
+		migBytes:   make([]int64, p),
 		cache:      newIndexCache(),
 	}
 }

@@ -55,6 +55,12 @@ type CommVolume struct {
 	// RMABytes is the one-sided (Get) subset of DeliveredBytes
 	// (Stats.RMABytesReceived).
 	RMABytes int64
+	// MigrationBytes is the subset of RMABytes moved to rebalance block
+	// ownership at elastic membership boundaries — the price of churn,
+	// reported alongside the scan traffic so the comm-volume experiment
+	// can split an elastic run's overhead above LB(p) into transport
+	// schedule vs. membership churn.
+	MigrationBytes int64
 }
 
 // Total returns the engine's full delivered volume.
@@ -78,6 +84,7 @@ func MeasuredCommVolume(m Metrics) CommVolume {
 	for _, r := range m.PerRank {
 		v.DeliveredBytes += r.BytesReceived
 		v.RMABytes += r.RMABytesReceived
+		v.MigrationBytes += r.MigrationBytes
 	}
 	return v
 }

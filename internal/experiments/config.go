@@ -50,6 +50,11 @@ type Config struct {
 	// cluster scales under the two-level topology).
 	VolumeSize  int
 	VolumeProcs []int
+	// ElasticSize and ElasticProcs configure the K5 elastic-membership
+	// experiment (migration volume vs. LB(p) under spot and autoscale
+	// churn profiles).
+	ElasticSize  int
+	ElasticProcs []int
 	// CSV, when true, also emits CSV renditions after each table.
 	CSV bool
 	// TracePath, when set, makes the "trace" experiment write its Chrome
@@ -79,6 +84,8 @@ func Default(out io.Writer) *Config {
 		SubGroupGroups: []int{1, 2, 4},
 		VolumeSize:     2000,
 		VolumeProcs:    []int{256, 1024, 4096},
+		ElasticSize:    2000,
+		ElasticProcs:   []int{8, 16, 32},
 	}
 }
 
@@ -96,6 +103,8 @@ func Quick(out io.Writer) *Config {
 	c.SubGroupGroups = []int{1, 2}
 	c.VolumeSize = 500
 	c.VolumeProcs = []int{8, 16}
+	c.ElasticSize = 500
+	c.ElasticProcs = []int{4, 8}
 	return c
 }
 

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pepscale/internal/cluster"
+	"pepscale/internal/core"
+	"pepscale/internal/report"
+)
+
+// Elastic is the K5 elastic-membership experiment: the price of membership
+// churn, measured as delivered communication volume against the
+// distribution lower bound LB(p) = (p−1)·min(D, Q), with the migration
+// share split out. Each processor count runs three times over the same
+// input and seed — a static baseline, a spot-market profile (correlated
+// leave/rejoin cycles), and an autoscale profile (ramp up, then drain) —
+// and every elastic run must reproduce the static run's hits bit for bit;
+// a mismatch fails the experiment. What churn adds on top of the static
+// schedule is exactly the Migration column: block windows re-fetched over
+// the network at rebalance boundaries. Group state moves through the
+// checkpoint store and is I/O, not communication, so it does not appear
+// here.
+func (c *Config) Elastic() (*report.Table, error) {
+	w, err := c.WorkloadFor(c.ElasticSize)
+	if err != nil {
+		return nil, err
+	}
+	dbBytes := int64(len(w.Data))
+	qBytes := core.QueryWireBytes(w.Queries)
+	in := core.Input{DBData: w.Data, Queries: w.Queries}
+
+	t := report.NewTable(
+		fmt.Sprintf("Elastic membership: comm volume and migration share vs. LB(p) — %s sequences (D = %s, Q = %s)",
+			report.SizeLabel(c.ElasticSize), bytesLabel(dbBytes), bytesLabel(qBytes)),
+		"Profile", "p0", "Spares", "Delivered", "Migration", "Bound", "Delivered/Bound", "Migration/Bound")
+
+	for _, p0 := range c.ElasticProcs {
+		spares := p0/4 + 1
+		bound := core.CommLowerBound(p0, dbBytes, qBytes)
+
+		// Static baseline: the elastic engine with an empty timeline. Its
+		// hits are the bit-identity reference for both profiles, and its
+		// virtual run-time sets the horizon the profile schedules fill.
+		static, _, err := core.RunElastic(cluster.Config{Cost: c.Cost}, in, c.Opt, core.ElasticOptions{
+			Membership: &cluster.MembershipPlan{Universe: p0 + spares, Initial: p0},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("elastic static p0=%d: %w", p0, err)
+		}
+		horizon := static.Metrics.RunSec
+		addRow(t, "static", p0, spares, static, bound)
+
+		profiles := []struct {
+			name string
+			mp   *cluster.MembershipPlan
+		}{
+			{"spot", cluster.SpotMembershipPlan(p0, spares, 3, horizon*0.8, 41)},
+			{"autoscale", cluster.AutoscaleMembershipPlan(p0, spares, horizon*0.5, 43)},
+		}
+		for _, pr := range profiles {
+			res, rec, err := core.RunElastic(cluster.Config{Cost: c.Cost}, in, c.Opt, core.ElasticOptions{
+				Membership: pr.mp,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("elastic %s p0=%d: %w (attempts %+v)", pr.name, p0, err, rec.Attempts)
+			}
+			if err := sameHits(static.Queries, res.Queries); err != nil {
+				return nil, fmt.Errorf("elastic %s p0=%d diverged from static: %w", pr.name, p0, err)
+			}
+			addRow(t, pr.name, p0, spares, res, bound)
+		}
+	}
+	c.printTable(t)
+	c.printf("every profile reproduced the static hits bit for bit; Migration is the churn surcharge above the static schedule\n\n")
+	return t, nil
+}
+
+// addRow folds one run's measured volume into a table row.
+func addRow(t *report.Table, profile string, p0, spares int, res *core.Result, bound int64) {
+	v := core.MeasuredCommVolume(res.Metrics)
+	t.Add(profile, fmt.Sprintf("%d", p0), fmt.Sprintf("%d", spares),
+		bytesLabel(v.DeliveredBytes), bytesLabel(v.MigrationBytes), bytesLabel(bound),
+		fmt.Sprintf("%.2f", v.Ratio(bound)), fmt.Sprintf("%.3f", core.CommVolume{DeliveredBytes: v.MigrationBytes}.Ratio(bound)))
+}
+
+// sameHits checks bit-identity of two result sets (index, id, and the full
+// ranked hit lists).
+func sameHits(want, got []core.QueryResult) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Index != got[i].Index || want[i].ID != got[i].ID {
+			return fmt.Errorf("query %d identity mismatch", i)
+		}
+		if len(want[i].Hits) != len(got[i].Hits) {
+			return fmt.Errorf("query %s: %d hits, want %d", want[i].ID, len(got[i].Hits), len(want[i].Hits))
+		}
+		for j, h := range want[i].Hits {
+			if got[i].Hits[j] != h {
+				return fmt.Errorf("query %s hit %d differs", want[i].ID, j)
+			}
+		}
+	}
+	return nil
+}

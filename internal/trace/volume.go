@@ -62,3 +62,19 @@ func (a *Attempt) TotalCommBytes() (recv, rma int64) {
 	}
 	return recv, rma
 }
+
+// RMABytesInPhase folds the one-sided bytes delivered while the named
+// engine phase was active — the trace-side mirror of the elastic engine's
+// MigrationBytes counter (phase "migrate"), giving an independent oracle
+// for the migration share of a run's communication volume.
+func (a *Attempt) RMABytesInPhase(phase string) int64 {
+	var n int64
+	for _, evs := range a.Events {
+		for i := range evs {
+			if evs[i].Phase == phase {
+				n += evs[i].Delta.RMABytesReceived
+			}
+		}
+	}
+	return n
+}
