@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-pepvet lint-extra test test-short bench bench-json bench-smoke scale-smoke race chaos chaos-elastic fuzz-short cover examples experiments quick-experiments clean
+.PHONY: all check build vet lint lint-pepvet lint-extra test test-short bench bench-json bench-smoke scale-smoke serve-smoke race chaos chaos-elastic chaos-serve fuzz-short cover examples experiments quick-experiments clean
 
 all: build vet test
 
-# check is the pre-merge gate: compile, vet, lint, full tests, and the
-# race detector over every package.
-check: build vet lint test race
+# check is the pre-merge gate: compile, vet, lint, full tests, the race
+# detector over every package, and the streaming-service smoke.
+check: build vet lint test race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -53,10 +53,17 @@ race:
 # chaos sweeps the fault-injection, checkpoint/restart, and recovery test
 # schedules under the race detector: every injected crash, drop, delay, and
 # straggler plan must recover to bit-identical hits without hanging.
-chaos:
+chaos: chaos-serve
 	$(GO) test -race -count=1 -run 'Fault|Crash|Detection|Dropped|Straggler|InjectedDelays|Mailbox|Reset|RunAfterAbort|Wait|Resilient|Recovery' \
 		./internal/cluster/ ./internal/core/
 	$(GO) test -race -count=1 ./internal/ckpt/
+
+# chaos-serve sweeps the streaming-service chaos schedules under the race
+# detector: crashes and block rotations mid-stream must lose no in-flight
+# query, answer none twice, keep hits bit-identical to the offline batch,
+# and replay to byte-identical traces.
+chaos-serve:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/serve/
 
 # chaos-elastic sweeps the elastic-membership schedules under the race
 # detector: every join/leave timeline (including the 1024-rank-universe
@@ -79,6 +86,8 @@ fuzz-short:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeResults -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeBatch -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzDecodeMembershipPlan -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzDecodeSubmit -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzDecodeResult -fuzztime $(FUZZTIME) -fuzzminimizetime 1s
 
 # cover enforces the checked-in statement-coverage floor
 # (.coverage-threshold) over the simulation and observability packages.
@@ -121,6 +130,14 @@ scale-smoke:
 		./internal/cluster/
 	$(GO) test -short -count=1 -run 'AlgoAScale4096' ./internal/core/
 	$(GO) test -bench 'BenchmarkMachineScale/p=1024' -benchtime 1x -run '^$$' ./internal/cluster/
+
+# serve-smoke runs the streaming-service golden path under the race
+# detector — a seeded load test pinning streaming-equals-offline hits and
+# byte-identical double-run traces — plus a short pepd CLI run through the
+# client wire codec.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'StreamingMatchesOffline|DoubleRunTrace|SteadyStateIngestAllocs' ./internal/serve/
+	$(GO) run ./cmd/pepid -serve -synth-db 200 -synth-queries 8 -serve-duration 0.25 >/dev/null
 
 examples:
 	$(GO) run ./examples/quickstart

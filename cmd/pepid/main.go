@@ -16,6 +16,15 @@
 //
 // Without -db/-spectra, a synthetic demonstration workload is generated
 // (-synth-db N sequences, -synth-queries M spectra).
+//
+// With -serve, pepid runs as pepd instead: an always-on streaming search
+// service fed by a seeded virtual-time arrival schedule. Queries enter
+// through the client wire codec, aggregate into batches over -serve-window,
+// and per-query results stream to the output as they complete:
+//
+//	pepid -serve [-serve-seed 42] [-serve-duration 1]
+//	      [-serve-tenants "acme:steady:40,ops:bursty:20:interactive"]
+//	      [-serve-window 0.05] [-serve-max-batch 16] [-p 4] ...
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"strings"
 
 	"pepscale"
+	"pepscale/internal/serve"
 )
 
 func main() {
@@ -69,6 +79,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batchSize = flag.Int("batch", 16, "master-worker query batch size")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run (open in Perfetto)")
 		traceSum  = flag.Bool("trace-summary", false, "print the trace analysis report to stderr")
+
+		serveMode  = flag.Bool("serve", false, "run as pepd: stream a seeded virtual-time arrival schedule through the always-on service")
+		serveSeed  = flag.Uint64("serve-seed", 42, "arrival-schedule seed (with -serve)")
+		serveDur   = flag.Float64("serve-duration", 1, "arrival horizon in virtual seconds (with -serve)")
+		serveTen   = flag.String("serve-tenants", "acme:steady:40,zeta:bursty:30", "tenant loads as name:profile:rate[:interactive], comma-separated")
+		serveWin   = flag.Float64("serve-window", 0.05, "batching window in virtual seconds (with -serve)")
+		serveBatch = flag.Int("serve-max-batch", 16, "batch-size close threshold (with -serve)")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -145,6 +162,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "pepid: generated %d synthetic query spectra\n", len(queries))
 	}
 
+	if *serveMode {
+		return runServe(serveParams{
+			db: db, pool: queries, opt: opt, ranks: *ranks,
+			seed: *serveSeed, horizon: *serveDur, tenants: *serveTen,
+			window: *serveWin, maxBatch: *serveBatch,
+			metrics: *metrics, outPath: *outPath,
+		}, stdout, stderr)
+	}
+
 	// Decoys are appended after any synthetic query generation so the true
 	// peptides come from target proteins.
 	if *decoy {
@@ -216,6 +242,133 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if m.SortSec > 0 {
 			fmt.Fprintf(stderr, "pepid: sort-time=%.3fs\n", m.SortSec)
 		}
+	}
+	return nil
+}
+
+// serveParams carries the -serve flag set into runServe.
+type serveParams struct {
+	db       []byte
+	pool     []*pepscale.Spectrum
+	opt      pepscale.Options
+	ranks    int
+	seed     uint64
+	horizon  float64
+	tenants  string
+	window   float64
+	maxBatch int
+	metrics  bool
+	outPath  string
+}
+
+// parseTenantLoads parses the -serve-tenants grammar:
+// name:profile:rate[:interactive], comma-separated.
+func parseTenantLoads(s string) ([]serve.TenantLoad, error) {
+	var loads []serve.TenantLoad
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("tenant %q: want name:profile:rate[:interactive]", part)
+		}
+		ld := serve.TenantLoad{Tenant: serve.TenantConfig{Name: fields[0], QuotaPerSec: -1}}
+		switch fields[1] {
+		case "steady":
+			ld.Profile = serve.ProfileSteady
+		case "bursty":
+			ld.Profile = serve.ProfileBursty
+		case "adversarial":
+			ld.Profile = serve.ProfileAdversarial
+		default:
+			return nil, fmt.Errorf("tenant %q: unknown profile %q", fields[0], fields[1])
+		}
+		if _, err := fmt.Sscanf(fields[2], "%f", &ld.RatePerSec); err != nil {
+			return nil, fmt.Errorf("tenant %q: bad rate %q", fields[0], fields[2])
+		}
+		if len(fields) > 3 {
+			if fields[3] != "interactive" {
+				return nil, fmt.Errorf("tenant %q: unknown flag %q", fields[0], fields[3])
+			}
+			ld.Tenant.Priority = serve.PriorityInteractive
+		}
+		loads = append(loads, ld)
+	}
+	return loads, nil
+}
+
+// runServe runs pepd over a seeded arrival schedule: every query enters
+// through the client wire codec, and per-query result lines stream to the
+// output in completion order.
+func runServe(p serveParams, stdout, stderr io.Writer) error {
+	loads, err := parseTenantLoads(p.tenants)
+	if err != nil {
+		return err
+	}
+	spec := serve.LoadSpec{Seed: p.seed, HorizonSec: p.horizon, Loads: loads}
+	arrivals := serve.Schedule(spec, p.pool)
+
+	w := stdout
+	if p.outPath != "" {
+		f, err := os.Create(p.outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "tenant\tseq\tquery\tarrive\tdone\tlatency\trank\tpeptide\tprotein\tmass\tscore")
+	cfg := serve.Config{
+		DB: p.db, Opt: p.opt, Ranks: p.ranks,
+		BatchWindowSec: p.window, MaxBatch: p.maxBatch,
+		Cost: pepscale.GigabitCluster(),
+		Sink: func(c serve.Completion) {
+			// Round-trip each completion through the result codec — the
+			// service streams frames, the client renders rows.
+			rf, err := serve.DecodeResult(c.Frame().Encode())
+			if err != nil {
+				fmt.Fprintf(stderr, "pepid: result frame: %v\n", err)
+				return
+			}
+			for i, h := range rf.Hits {
+				fmt.Fprintf(bw, "%s\t%d\t%s\t%.4f\t%.4f\t%.4f\t%d\t%s\t%s\t%.4f\t%.4f\n",
+					rf.Tenant, rf.Seq, rf.QueryID, rf.ArriveSec, rf.DoneSec, rf.DoneSec-rf.ArriveSec,
+					i+1, h.Peptide, h.ProteinID, h.Mass, h.Score)
+			}
+		},
+	}
+	tseen := map[string]bool{}
+	for _, ld := range loads {
+		if !tseen[ld.Tenant.Name] {
+			tseen[ld.Tenant.Name] = true
+			cfg.Tenants = append(cfg.Tenants, ld.Tenant)
+		}
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	var rejected int
+	for i, a := range arrivals {
+		frame := (&serve.SubmitFrame{Tenant: a.Tenant, Seq: uint64(i), AtSec: a.AtSec, Spec: a.Spec}).Encode()
+		if err := s.SubmitFrame(frame); err != nil {
+			if after, ok := serve.IsRetryable(err); ok {
+				rejected++
+				fmt.Fprintf(stderr, "pepid: %.4fs %s rejected (retry after %.4fs)\n", a.AtSec, a.Tenant, after)
+				continue
+			}
+			return err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if p.metrics {
+		st := s.Metrics()
+		fmt.Fprintf(stderr, "pepid: pepd p=%d submitted=%d admitted=%d rejected=%d completed=%d batches=%d quanta=%d virtual-end=%.3fs ckpt-bytes=%d\n",
+			p.ranks, st.Submitted, st.Admitted, rejected, st.Completed, st.Batches, st.Quanta, s.NowSec(), s.CheckpointBytes())
 	}
 	return nil
 }

@@ -51,6 +51,7 @@ var Packages = []string{
 	"internal/fragidx",
 	"internal/placement",
 	"internal/score",
+	"internal/serve",
 	"internal/spectrum",
 	"internal/synth",
 	"internal/trace",

@@ -59,6 +59,7 @@ func TestAppliesTo(t *testing.T) {
 		"pepscale/internal/digest",
 		"pepscale/internal/placement",
 		"pepscale/internal/score",
+		"pepscale/internal/serve",
 		"pepscale/internal/spectrum",
 		"pepscale/internal/synth",
 	} {

@@ -1,0 +1,62 @@
+// serving.go plants the scheduling-order bug class the streaming service
+// must never contain: deriving a dispatch, batch-close, or quota decision
+// by ranging over the tenant *map*. The serving event loop is replayed for
+// the double-run trace oracle, so any map-order-dependent tenant sweep
+// changes batch ids and dispatch instants between runs and breaks the
+// byte-identical-trace contract. The sanctioned pattern — iterate the
+// pre-sorted tenant name list and look each tenant up — must stay silent.
+package a
+
+import "sort"
+
+type lane struct {
+	queued int
+	credit float64
+}
+
+func closeDueLanes(tenants map[string]*lane) []string {
+	var closed []string
+	for name, tn := range tenants { // want "range over map"
+		if tn.queued > 0 {
+			closed = append(closed, name)
+		}
+	}
+	return closed
+}
+
+func pickNextTenant(tenants map[string]*lane) string {
+	best, bestCredit := "", -1.0
+	for name, tn := range tenants { // want "range over map"
+		if best == "" || tn.credit < bestCredit {
+			best, bestCredit = name, tn.credit
+		}
+	}
+	return best
+}
+
+// The sanctioned replacement: the serve package's discipline — a sorted
+// name index owns the iteration order, the map is only a lookup table.
+func sortedLaneSweep(tenants map[string]*lane) []string {
+	names := make([]string, 0, len(tenants))
+	//pepvet:allow determinism names are sorted before any order escapes
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var closed []string
+	for _, name := range names {
+		if tenants[name].queued > 0 {
+			closed = append(closed, name)
+		}
+	}
+	return closed
+}
+
+// Aggregate counters observe no order: no finding.
+func totalQueued(tenants map[string]*lane) int {
+	n := 0
+	for range tenants {
+		n++
+	}
+	return n
+}

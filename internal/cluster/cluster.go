@@ -962,6 +962,23 @@ func (r *Rank) ChargeComm(sec float64) {
 	}
 }
 
+// IdleUntil advances the rank's clock to the absolute virtual time t,
+// charged as synchronization wait (the rank is parked, not computing). A
+// clock already at or past t is left untouched. The serving layer uses it
+// to hold a rank until a batch's dispatch instant so service-time gaps are
+// first-class intervals on the timeline.
+func (r *Rank) IdleUntil(t float64) {
+	if t <= r.clock {
+		return
+	}
+	d := t - r.clock
+	if r.tl != nil {
+		r.tl.Append(trace.Event{Kind: trace.KindIdle, Name: "idle", Peer: -1, Start: r.clock, Dur: d, Delta: trace.StatDelta{SyncWaitSec: d}})
+	}
+	r.Stats.SyncWaitSec += d
+	r.clock = t
+}
+
 // NoteAlloc records bytes of private memory acquired by the rank program
 // (database buffers, indexes); NoteFree records their release. The high
 // -water mark verifies the O((N+m)/p) space claim.

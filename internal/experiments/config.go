@@ -55,6 +55,11 @@ type Config struct {
 	// churn profiles).
 	ElasticSize  int
 	ElasticProcs []int
+	// ServeSize, ServeRanks, and ServeRates configure the K6 streaming-
+	// service experiment (latency/throughput vs. offered load on pepd).
+	ServeSize  int
+	ServeRanks int
+	ServeRates []float64
 	// CSV, when true, also emits CSV renditions after each table.
 	CSV bool
 	// TracePath, when set, makes the "trace" experiment write its Chrome
@@ -86,6 +91,9 @@ func Default(out io.Writer) *Config {
 		VolumeProcs:    []int{256, 1024, 4096},
 		ElasticSize:    2000,
 		ElasticProcs:   []int{8, 16, 32},
+		ServeSize:      2000,
+		ServeRanks:     4,
+		ServeRates:     []float64{20, 50, 100},
 	}
 }
 
@@ -105,6 +113,8 @@ func Quick(out io.Writer) *Config {
 	c.VolumeProcs = []int{8, 16}
 	c.ElasticSize = 500
 	c.ElasticProcs = []int{4, 8}
+	c.ServeSize = 500
+	c.ServeRates = []float64{20, 50}
 	return c
 }
 

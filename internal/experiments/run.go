@@ -10,7 +10,7 @@ var Names = []string{
 	"table1", "table2", "fig4", "table3", "table4",
 	"fig1a", "fig1b", "masking", "residual", "validate",
 	"subgroup", "space", "candidate", "quality", "trace",
-	"volume", "elastic",
+	"volume", "elastic", "serve",
 }
 
 // Run executes the named experiments ("all" runs everything) in canonical
@@ -88,6 +88,8 @@ func (c *Config) Run(names []string) error {
 			_, err = c.Volume()
 		case "elastic":
 			_, err = c.Elastic()
+		case "serve":
+			_, err = c.Serve()
 		}
 		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", name, err)

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"pepscale/internal/core"
+	"pepscale/internal/report"
+	"pepscale/internal/serve"
+	"pepscale/internal/topk"
+)
+
+// Serve is the K6 streaming-service experiment: latency and throughput
+// versus offered load on the always-on pepd service. Each offered rate
+// replays a seeded two-tenant arrival schedule (a steady lane and a bursty
+// lane) through the serving layer over virtual time and reports admission
+// counts, completed throughput, and the p50/p95 sojourn times (arrival to
+// final hit delivery). Every completed query's top-τ list must be
+// bit-identical to the serial reference run of the same query pool — a
+// mismatch fails the experiment, which makes the sweep double as the
+// streaming-equals-offline oracle at every load point.
+func (c *Config) Serve() (*report.Table, error) {
+	w, err := c.WorkloadFor(c.ServeSize)
+	if err != nil {
+		return nil, err
+	}
+	// The serial reference: the same pool as one offline batch.
+	ref, err := core.Serial(core.Input{DBData: w.Data, Queries: w.Queries}, c.Opt, c.Cost)
+	if err != nil {
+		return nil, fmt.Errorf("serve reference: %w", err)
+	}
+	want := make(map[string][]topk.Hit, len(ref.Queries))
+	for _, q := range ref.Queries {
+		want[q.ID] = q.Hits
+	}
+
+	const horizon = 1.0
+	t := report.NewTable(
+		fmt.Sprintf("Streaming service: latency and throughput vs. offered load — %s sequences, %d ranks, %.0fs horizon",
+			report.SizeLabel(c.ServeSize), c.ServeRanks, horizon),
+		"Rate (q/s)", "Submitted", "Admitted", "Rejected", "Completed/s", "p50 sojourn", "p95 sojourn", "Batches", "Ckpt bytes")
+
+	for _, rate := range c.ServeRates {
+		spec := serve.LoadSpec{Seed: 1009, HorizonSec: horizon, Loads: []serve.TenantLoad{
+			{Tenant: serve.TenantConfig{Name: "steady", QuotaPerSec: -1}, Profile: serve.ProfileSteady, RatePerSec: rate * 0.7},
+			{Tenant: serve.TenantConfig{Name: "bursty", QuotaPerSec: -1}, Profile: serve.ProfileBursty, RatePerSec: rate * 0.3},
+		}}
+		arrivals := serve.Schedule(spec, w.Queries)
+		s, err := serve.New(serve.Config{
+			DB:   w.Data,
+			Opt:  c.Opt,
+			Cost: c.Cost,
+			Ranks: func() int {
+				if c.ServeRanks > 0 {
+					return c.ServeRanks
+				}
+				return 4
+			}(),
+			Tenants: []serve.TenantConfig{
+				{Name: "steady", QuotaPerSec: -1},
+				{Name: "bursty", QuotaPerSec: -1},
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve rate=%g: %w", rate, err)
+		}
+		if _, err := s.Play(arrivals); err != nil {
+			return nil, fmt.Errorf("serve rate=%g: %w", rate, err)
+		}
+		if err := s.Close(); err != nil {
+			return nil, fmt.Errorf("serve rate=%g: %w", rate, err)
+		}
+		comps := s.Completions()
+		lats := make([]float64, 0, len(comps))
+		for _, cp := range comps {
+			wh, ok := want[cp.QueryID]
+			if !ok {
+				return nil, fmt.Errorf("serve rate=%g: unknown query %q", rate, cp.QueryID)
+			}
+			if len(cp.Hits) != len(wh) {
+				return nil, fmt.Errorf("serve rate=%g: query %s hit count diverged from serial reference", rate, cp.QueryID)
+			}
+			for j := range wh {
+				if cp.Hits[j] != wh[j] {
+					return nil, fmt.Errorf("serve rate=%g: query %s hit %d diverged from serial reference", rate, cp.QueryID, j)
+				}
+			}
+			lats = append(lats, cp.DoneSec-cp.ArriveSec)
+		}
+		sort.Float64s(lats)
+		st := s.Metrics()
+		span := s.NowSec()
+		if span <= 0 {
+			span = horizon
+		}
+		t.Add(fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%d", st.Submitted),
+			fmt.Sprintf("%d", st.Admitted),
+			fmt.Sprintf("%d", st.RejectedQuota+st.RejectedQueue),
+			fmt.Sprintf("%.1f", float64(st.Completed)/span),
+			fmt.Sprintf("%.3fs", percentile(lats, 0.50)),
+			fmt.Sprintf("%.3fs", percentile(lats, 0.95)),
+			fmt.Sprintf("%d", st.Batches),
+			fmt.Sprintf("%d", s.CheckpointBytes()))
+	}
+	c.printTable(t)
+	c.printf("every completed query reproduced the serial reference hits bit for bit at every load point\n\n")
+	return t, nil
+}
+
+// percentile returns the q-th quantile of ascending xs (nearest-rank).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

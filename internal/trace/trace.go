@@ -52,6 +52,11 @@ const (
 	// KindMark is an engine-level annotation (checkpoint written, state
 	// restored, recovery attempt started).
 	KindMark
+	// KindIdle is a scheduled idle stall (Rank.IdleUntil): the wait from a
+	// rank's current clock to an absolute virtual dispatch time, charged as
+	// synchronization. The serving layer uses it to park a rank until a
+	// batch's dispatch instant.
+	KindIdle
 )
 
 // kindNames is indexed by Kind; these strings are the wire format of the
@@ -68,6 +73,7 @@ var kindNames = [...]string{
 	KindDetect:     "detect",
 	KindCrash:      "crash",
 	KindMark:       "mark",
+	KindIdle:       "idle",
 }
 
 // String implements fmt.Stringer.
